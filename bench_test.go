@@ -1,0 +1,305 @@
+package repro
+
+// One benchmark per table and figure of the paper, plus ablations. Each
+// bench runs a scaled-down version of the experiment (scale divisor 8,
+// coarse δ grids — see internal/paper for what scaling preserves) and
+// reports the headline quantities as custom metrics:
+//
+//	IF        peak interference factor (paper: ~2 at δ=0, Table II)
+//	unfair    T(second app)/T(first app) on overlapping δ≠0 points
+//	          (>1 means the first application wins, the incast signature)
+//	alone_s   single-application baseline, seconds of simulated time
+//
+// Absolute ns/op is simulator wall-clock, useful only to track the
+// simulator's own performance.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/paper"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+	"repro/internal/workload"
+)
+
+const benchScale = 8
+
+func reportSeries(b *testing.B, series []paper.Series) {
+	b.Helper()
+	if len(series) == 0 {
+		return
+	}
+	peak, unfair := 0.0, 0.0
+	for _, s := range series {
+		if v := s.Graph.PeakIF(); v > peak {
+			peak = v
+		}
+		if v := s.Graph.Unfairness(); v > unfair {
+			unfair = v
+		}
+	}
+	b.ReportMetric(peak, "IF")
+	b.ReportMetric(unfair, "unfair")
+	b.ReportMetric(series[0].Graph.Alone[0].Seconds(), "alone_s")
+}
+
+func BenchmarkTable1(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := paper.Table1()
+		b.ReportMetric(rows[0].Slowdown, "hdd_x")
+		b.ReportMetric(rows[1].Slowdown, "ssd_x")
+		b.ReportMetric(rows[2].Slowdown, "ram_x")
+	}
+}
+
+func BenchmarkFigure2SyncOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig2(benchScale, true, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure2SyncOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig2(benchScale, false, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure3SyncOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig3(benchScale, true, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure3SyncOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig3(benchScale, false, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig4(benchScale, paper.GridCoarse)
+		reportSeries(b, s)
+		// The headline: 16 clients/node is unfair, 1 client/node is not.
+		b.ReportMetric(s[0].Graph.Unfairness(), "unfair_16cpn")
+		b.ReportMetric(s[1].Graph.Unfairness(), "unfair_1cpn")
+	}
+}
+
+func BenchmarkFigure5SyncOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig5(benchScale, true, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure5SyncOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig5(benchScale, false, paper.GridCoarse)
+		reportSeries(b, s)
+		// The counterintuitive result: 1 G is interference-free.
+		b.ReportMetric(s[0].Graph.PeakIF(), "IF_10G")
+		b.ReportMetric(s[1].Graph.PeakIF(), "IF_1G")
+	}
+}
+
+func BenchmarkFigure6AndTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		pts, series := paper.Fig6(benchScale, []int{4, 8, 12, 24}, paper.GridCoarse)
+		reportSeries(b, series)
+		b.ReportMetric(pts[len(pts)-1].MaxBps/1e9, "maxGBps")
+		b.ReportMetric(pts[len(pts)-1].PeakIF, "IF_mostServers")
+		b.ReportMetric(pts[0].PeakIF, "IF_fewestServers")
+	}
+}
+
+func BenchmarkFigure7HDD(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig7(benchScale, cluster.HDD, paper.GridCoarse)
+		reportSeries(b, s)
+		b.ReportMetric(s[0].Graph.PeakIF(), "IF_shared")
+		b.ReportMetric(s[1].Graph.PeakIF(), "IF_split")
+	}
+}
+
+func BenchmarkFigure7RAM(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig7(benchScale, cluster.RAM, paper.GridCoarse)
+		reportSeries(b, s)
+		b.ReportMetric(s[1].Graph.PeakIF(), "IF_split")
+	}
+}
+
+func BenchmarkFigure8SyncOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig8(benchScale, true, []int64{64 << 10, 256 << 10}, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure8SyncOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig8(benchScale, false, []int64{64 << 10, 256 << 10}, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure9SyncOn(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		reportSeries(b, paper.Fig9(benchScale, true, []int64{64 << 10, 512 << 10}, paper.GridCoarse))
+	}
+}
+
+func BenchmarkFigure9SyncOff(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig9(benchScale, false, []int64{64 << 10, 512 << 10}, paper.GridCoarse)
+		reportSeries(b, s)
+		b.ReportMetric(s[0].Graph.PeakIF(), "IF_64K")
+		b.ReportMetric(s[1].Graph.PeakIF(), "IF_512K")
+	}
+}
+
+func BenchmarkFigure10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		alone, contended := paper.Fig10(benchScale)
+		b.ReportMetric(alone.MinWnd(), "minwnd_alone")
+		b.ReportMetric(contended.MinWnd(), "minwnd_contended")
+		b.ReportMetric(alone.MaxWnd(), "maxwnd_alone")
+	}
+}
+
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res := paper.Fig11(benchScale)
+		b.ReportMetric(res.TraceA.MaxWnd(), "maxwnd_A")
+		b.ReportMetric(res.TraceB.MaxWnd(), "maxwnd_B")
+		// B's progress fraction at 2/3 of the run — low if starved.
+		b.ReportMetric(100*res.TraceB.ProgressAt(res.End*2/3, res.TotalB), "B_progress_pct")
+	}
+}
+
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := paper.Fig12(benchScale, []int{128, 512, 960}, paper.GridCoarse)
+		reportSeries(b, s)
+		b.ReportMetric(s[0].Graph.Unfairness(), "unfair_fewest")
+		b.ReportMetric(s[len(s)-1].Graph.Unfairness(), "unfair_most")
+	}
+}
+
+// --- Ablations: isolating one root cause at a time ------------------------
+
+// BenchmarkAblationSeekCost isolates the disk-level root cause: the same
+// contended contiguous run with the real seek penalty and with a seek-free
+// disk (perfect locality). The gap is the seek amplification share of the
+// interference the paper attributes to the backend (§IV-A1).
+func BenchmarkAblationSeekCost(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(seek sim.Time) float64 {
+			cfg := paper.Config(benchScale)
+			cfg.HDD.Seek = seek
+			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
+			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+			return g.At(0).Elapsed[0].Seconds()
+		}
+		b.ReportMetric(run(6500*sim.Microsecond), "with_seeks_s")
+		b.ReportMetric(run(0), "seek_free_s")
+	}
+}
+
+// BenchmarkAblationInfinitePort removes the switch port limit: no incast
+// drops, so any residual unfairness comes from request queueing alone.
+func BenchmarkAblationInfinitePort(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(portBuf int64) (float64, int64) {
+			cfg := paper.Config(benchScale)
+			cfg.Net.PortBuf = portBuf
+			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
+			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+			return g.Unfairness(), g.At(0).Diag.PortDrops
+		}
+		u1, d1 := run(1 << 20)
+		u2, d2 := run(1 << 40)
+		b.ReportMetric(u1, "unfair_1MBport")
+		b.ReportMetric(u2, "unfair_infport")
+		b.ReportMetric(float64(d1), "drops_1MBport")
+		b.ReportMetric(float64(d2), "drops_infport")
+	}
+}
+
+// BenchmarkAblationPolicy compares server request-scheduling policies —
+// FIFO (PVFS) against the coordinated orders of the related work.
+func BenchmarkAblationPolicy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		run := func(pol pfs.ReadPolicy) float64 {
+			cfg := paper.Config(benchScale)
+			cfg.Srv.Policy = pol
+			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
+			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+			return g.Unfairness()
+		}
+		b.ReportMetric(run(pfs.ReadFIFO), "unfair_fifo")
+		b.ReportMetric(run(pfs.ReadRoundRobin), "unfair_rr")
+	}
+}
+
+// BenchmarkReadInterference is the paper's future-work read/read variant.
+func BenchmarkReadInterference(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := paper.Config(benchScale)
+		wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: paper.BlockBytes, Read: true}
+		apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, wl)
+		g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+		b.ReportMetric(g.PeakIF(), "IF")
+		b.ReportMetric(g.Alone[0].Seconds(), "alone_s")
+	}
+}
+
+// --- Microbenchmarks of the simulator itself -------------------------------
+
+func BenchmarkEngineEventThroughput(b *testing.B) {
+	e := sim.NewEngine()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			e.Schedule(sim.Microsecond, tick)
+		}
+	}
+	b.ResetTimer()
+	e.Schedule(0, tick)
+	e.Run()
+}
+
+func BenchmarkTransportThroughput(b *testing.B) {
+	// One connection moving b.N segments of 64 KiB.
+	e := sim.NewEngine()
+	f := netsim.NewFabric(e, netsim.DefaultParams())
+	src := f.NewHost("c", 1.25e9, 0)
+	dst := f.NewHost("s", 1.25e9, 0)
+	c := f.Dial(src, dst, 0)
+	c.OnReadable = func(cc *netsim.Conn, m *netsim.Message) { cc.ReadHead() }
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Send(&netsim.Message{Size: 64 << 10})
+	}
+	e.Run()
+	b.SetBytes(64 << 10)
+}
+
+func BenchmarkHDDElevator(b *testing.B) {
+	e := sim.NewEngine()
+	d := cluster.NewDevice(e, cluster.Default())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		d.Submit(&storage.Request{
+			File:   storage.FileID(i % 4),
+			Offset: int64(i) * (256 << 10),
+			Size:   256 << 10,
+		})
+	}
+	e.Run()
+	b.SetBytes(256 << 10)
+}

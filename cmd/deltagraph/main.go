@@ -1,0 +1,102 @@
+// Command deltagraph produces a δ-graph (the paper's reporting device) for
+// a configurable two-application experiment and prints it as a table plus a
+// crude terminal plot.
+//
+// Example:
+//
+//	deltagraph -span 40 -points 9 -backend hdd -sync on -nodes 8 -servers 2
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/report"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 8, "compute nodes")
+		ppn     = flag.Int("ppn", 16, "processes per node")
+		servers = flag.Int("servers", 2, "storage servers")
+		backend = flag.String("backend", "hdd", "hdd, ssd, ram, null")
+		syncOn  = flag.String("sync", "on", "on, off, null-aio")
+		block   = flag.Int64("blockMB", 64, "MiB per process")
+		span    = flag.Float64("span", 40, "delta range: graph covers ±span seconds")
+		points  = flag.Int("points", 9, "number of delta points (odd, includes 0)")
+		tsv     = flag.Bool("tsv", false, "TSV output instead of table+plot")
+	)
+	flag.Parse()
+
+	cfg := cluster.Default()
+	cfg.ComputeNodes = *nodes
+	cfg.CoresPerNode = *ppn
+	cfg.Servers = *servers
+	var err error
+	if cfg.Backend, err = cluster.ParseBackend(*backend); err != nil {
+		fmt.Fprintln(os.Stderr, "deltagraph:", err)
+		os.Exit(1)
+	}
+	switch strings.ToLower(*syncOn) {
+	case "on":
+		cfg.Sync = pfs.SyncOn
+	case "off":
+		cfg.Sync = pfs.SyncOff
+	default:
+		cfg.Sync = pfs.NullAIO
+	}
+
+	wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: *block << 20}
+	procs := *nodes / 2 * *ppn
+	apps := core.TwoAppSpecs(cfg, procs, *ppn, wl)
+
+	n := *points
+	if n < 3 {
+		n = 3
+	}
+	if n%2 == 0 {
+		n++
+	}
+	var deltas []sim.Time
+	for i := 0; i < n; i++ {
+		frac := float64(i)/float64(n-1)*2 - 1 // -1..1
+		deltas = append(deltas, sim.Seconds(frac**span))
+	}
+
+	g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas})
+
+	t := report.New(
+		fmt.Sprintf("delta-graph: %d procs/app, %s, %s (alone A=%.1fs B=%.1fs)",
+			procs, cfg.Backend, cfg.Sync, g.Alone[0].Seconds(), g.Alone[1].Seconds()),
+		"delta_s", "A_s", "B_s", "IF_A", "IF_B", "drops", "timeouts")
+	for _, p := range g.Points {
+		t.Add(p.Delta.Seconds(), p.Elapsed[0].Seconds(), p.Elapsed[1].Seconds(),
+			p.IF[0], p.IF[1], p.Diag.PortDrops, p.Diag.Timeouts)
+	}
+	if *tsv {
+		_ = t.WriteTSV(os.Stdout)
+		return
+	}
+	_ = t.WriteASCII(os.Stdout)
+
+	// Terminal plot of application A's write time vs delta.
+	fmt.Println("\napplication A write time vs delta:")
+	maxT := g.Alone[0]
+	for _, p := range g.Points {
+		if p.Elapsed[0] > maxT {
+			maxT = p.Elapsed[0]
+		}
+	}
+	for _, p := range g.Points {
+		bar := int(60 * float64(p.Elapsed[0]) / float64(maxT))
+		fmt.Printf("%+6.0fs |%s %.1fs\n", p.Delta.Seconds(), strings.Repeat("#", bar), p.Elapsed[0].Seconds())
+	}
+	fmt.Printf("\npeak IF %.2f, unfairness %.2f\n", g.PeakIF(), g.Unfairness())
+}

@@ -1,0 +1,54 @@
+// Command incastprobe traces the TCP window of one client-to-server
+// connection during a contended run — the simulator's tcpdump, producing
+// the raw series behind the paper's Figures 10 and 11.
+//
+// Example:
+//
+//	incastprobe -delta 10 -nodes 8 -servers 2 | head -50
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	var (
+		nodes   = flag.Int("nodes", 8, "compute nodes")
+		servers = flag.Int("servers", 2, "storage servers")
+		delta   = flag.Float64("delta", 0, "second application delay, seconds")
+		app     = flag.Int("app", 1, "application to trace (0 = first, 1 = second)")
+	)
+	flag.Parse()
+
+	cfg := cluster.Default()
+	cfg.ComputeNodes = *nodes
+	cfg.Servers = *servers
+
+	wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: 64 << 20}
+	procs := *nodes / 2 * cfg.CoresPerNode
+	apps := core.TwoAppSpecs(cfg, procs, cfg.CoresPerNode, wl)
+	apps[1].Start = sim.Seconds(*delta)
+
+	x := core.Prepare(cfg, []core.AppSpec{apps[0], apps[1]})
+	if *app < 0 || *app > 1 {
+		fmt.Fprintln(os.Stderr, "incastprobe: -app must be 0 or 1")
+		os.Exit(1)
+	}
+	tr := x.AttachWindowTrace(*app, 0, 0)
+	res := x.Run()
+
+	fmt.Printf("# app %s traced: conn client0 -> server0; run A=%.1fs B=%.1fs; drops=%d timeouts=%d\n",
+		res.Apps[*app].Name, res.Apps[0].Elapsed.Seconds(), res.Apps[1].Elapsed.Seconds(),
+		res.Diag.PortDrops, res.Diag.Timeouts)
+	fmt.Println("time_s\tkind\twindow_x2048B\tacked_bytes")
+	for i := range tr.Times {
+		fmt.Printf("%.6f\t%c\t%.1f\t%d\n", tr.Times[i].Seconds(), tr.Kind[i], tr.Wnd[i], tr.Acked[i])
+	}
+}

@@ -1,0 +1,15 @@
+// Package repro is a simulation-based reproduction of "On the Root Causes
+// of Cross-Application I/O Interference in HPC Storage Systems" (Yildiz,
+// Dorier, Ibrahim, Ross, Antoniu — IPDPS 2016).
+//
+// The repository contains a deterministic discrete-event simulator of an
+// HPC storage stack — compute nodes, a TCP-like fabric with incast
+// dynamics, a PVFS/OrangeFS-like parallel file system, and storage device
+// models — plus the paper's δ-graph experiment methodology and one
+// regenerable experiment per table and figure. See README.md for a tour,
+// DESIGN.md for the system inventory and EXPERIMENTS.md for paper-versus-
+// measured results.
+//
+// The benchmark suite in bench_test.go regenerates scaled versions of every
+// experiment; the cmd/paperrepro tool runs them at paper size.
+package repro

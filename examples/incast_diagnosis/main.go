@@ -1,0 +1,62 @@
+// Incast diagnosis: reproduce the paper's §IV-B investigation on demand.
+// It runs one application alone and then two overlapping applications,
+// traces the TCP window of one client connection in each case (the
+// simulator's tcpdump), and reports whether the window collapse + timeout
+// pattern that defines incast is present — along with where the drops
+// happened.
+package main
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func main() {
+	cfg := cluster.Default()
+	cfg.ComputeNodes = 8
+	cfg.Servers = 2
+
+	wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: 64 << 20}
+	apps := core.TwoAppSpecs(cfg, 64, cfg.CoresPerNode, wl)
+
+	fmt.Println("--- run 1: application A alone ---")
+	solo := core.Prepare(cfg, []core.AppSpec{apps[0]})
+	traceAlone := solo.AttachWindowTrace(0, 0, 0)
+	resAlone := solo.Run()
+	describe(traceAlone, resAlone)
+
+	fmt.Println("\n--- run 2: A and B start together (delta = 0) ---")
+	both := core.Prepare(cfg, []core.AppSpec{apps[0], apps[1]})
+	traceB := both.AttachWindowTrace(1, 0, 0)
+	resBoth := both.Run()
+	describe(traceB, resBoth)
+
+	fmt.Println("\nverdict:")
+	grewUnderContention := resBoth.Diag.Timeouts > 3*resAlone.Diag.Timeouts
+	switch {
+	case grewUnderContention && traceB.MinWnd() < 1:
+		fmt.Printf("  TCP timeouts grew %.1fx under contention and the late application's window\n",
+			float64(resBoth.Diag.Timeouts)/float64(resAlone.Diag.Timeouts))
+		fmt.Println("  collapsed to zero: cross-application incast, caused by a slow backend plus")
+		fmt.Println("  the storage server's lack of flow control (the paper's root cause).")
+	case traceAlone.MinWnd() < 1 && traceAlone.MaxWnd() > 8:
+		fmt.Println("  windows already collapse alone: the backend cannot sustain one application.")
+	default:
+		fmt.Println("  no incast signature; interference (if any) is device- or CPU-level.")
+	}
+}
+
+func describe(tr *netsim.Trace, res core.RunResult) {
+	for _, a := range res.Apps {
+		fmt.Printf("  app %s: %.1fs for %s\n", a.Name, a.Elapsed.Seconds(), sim.FormatBytes(a.Bytes))
+	}
+	fmt.Printf("  traced connection: window min=%.0f max=%.0f (x2048B) over %d samples\n",
+		tr.MinWnd(), tr.MaxWnd(), tr.Len())
+	fmt.Printf("  fabric: %d port drops, %d TCP timeouts, %d device seeks\n",
+		res.Diag.PortDrops, res.Diag.Timeouts, res.Diag.DeviceSeeks)
+}

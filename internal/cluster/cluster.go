@@ -1,0 +1,260 @@
+// Package cluster assembles simulated platforms: compute nodes with shared
+// NICs, storage servers with devices (and write caches when synchronization
+// is off), the network fabric, and the parallel file system. Default() is
+// calibrated against the paper's testbed — the Grid'5000 parasilo/paravance
+// clusters (60 compute nodes with two 8-core CPUs, 12 OrangeFS servers,
+// 10 GbE) — so that single-application baselines land in the paper's range.
+package cluster
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/netsim"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// BackendKind selects the storage device model behind each server.
+type BackendKind int
+
+// Backends from the paper's experiments.
+const (
+	HDD BackendKind = iota
+	SSD
+	RAM
+	Null // PVFS null-aio: no storage at all
+)
+
+func (b BackendKind) String() string {
+	switch b {
+	case HDD:
+		return "hdd"
+	case SSD:
+		return "ssd"
+	case RAM:
+		return "ram"
+	case Null:
+		return "null"
+	}
+	return "unknown"
+}
+
+// ParseBackend converts a name ("hdd", "ssd", "ram", "null") to a kind.
+func ParseBackend(s string) (BackendKind, error) {
+	switch strings.ToLower(s) {
+	case "hdd", "disk":
+		return HDD, nil
+	case "ssd":
+		return SSD, nil
+	case "ram", "memory", "tmpfs":
+		return RAM, nil
+	case "null", "null-aio", "nullaio":
+		return Null, nil
+	}
+	return 0, fmt.Errorf("cluster: unknown backend %q", s)
+}
+
+// Config describes a platform to build.
+type Config struct {
+	// ComputeNodes is the number of client machines; CoresPerNode is how
+	// many application processes share each machine's NIC.
+	ComputeNodes int
+	CoresPerNode int
+
+	// ClientNIC and ServerNIC are NIC rates in bytes/second. The paper's
+	// bandwidth experiment lowers ClientNIC from 10 GbE to 1 GbE.
+	ClientNIC float64
+	ServerNIC float64
+
+	// Servers is the number of storage servers.
+	Servers int
+	// Backend selects the device model; Sync the persistence mode.
+	Backend BackendKind
+	Sync    pfs.SyncMode
+	// StripeSize is the file system's default stripe size.
+	StripeSize int64
+
+	// Subsystem tunables (calibrated defaults from Default()).
+	Net   netsim.Params
+	Srv   pfs.ServerParams
+	HDD   storage.HDDParams
+	SSD   storage.SSDParams
+	RAM   storage.RAMParams
+	Cache storage.CacheParams
+
+	// PerSeg is the fixed per-segment NIC processing overhead.
+	PerSeg sim.Time
+
+	// IssueJitter perturbs each request's per-server queue position,
+	// modeling network and scheduling noise that decorrelates service
+	// order across servers.
+	IssueJitter sim.Time
+
+	// Seed drives all randomized choices (none in the core model, but
+	// probes and failure injection fork from it).
+	Seed uint64
+}
+
+// GbE10 and GbE1 are NIC rates in bytes/second.
+const (
+	GbE10 = 1.25e9
+	GbE1  = 1.25e8
+)
+
+// Default returns the paper-calibrated platform: 60 nodes x 16 cores
+// against 12 OrangeFS servers over 10 GbE, HDDs with sync enabled, 64 KiB
+// stripes.
+func Default() Config {
+	srv := pfs.DefaultServerParams()
+	// Per-server ingest ceiling: the paper's sync-OFF runs move ~30 GB in
+	// ~5.5 s over 12 servers (~460 MB/s per server) — request processing,
+	// not the 10 GbE NIC, is the server bottleneck.
+	srv.CPUBytesPerSec = 700e6
+	srv.CPUPerChunk = 120 * sim.Microsecond
+	return Config{
+		ComputeNodes: 60,
+		CoresPerNode: 16,
+		ClientNIC:    GbE10,
+		ServerNIC:    GbE10,
+		Servers:      12,
+		Backend:      HDD,
+		Sync:         pfs.SyncOn,
+		StripeSize:   64 << 10,
+		Net:          netsim.DefaultParams(),
+		Srv:          srv,
+		HDD:          storage.DefaultHDD(),
+		SSD:          storage.DefaultSSD(),
+		RAM:          storage.DefaultRAM(),
+		Cache:        storage.DefaultCache(),
+		PerSeg:       5 * sim.Microsecond,
+		IssueJitter:  4 * sim.Millisecond,
+		Seed:         1,
+	}
+}
+
+// Scale shrinks the experiment while preserving per-node and per-server
+// ratios: it divides node, core and server counts by f (minimum 1 each,
+// keeping at least 2 nodes and 2 servers for two-application runs).
+// Workload bytes are the caller's concern.
+func (c Config) Scale(f int) Config {
+	if f <= 1 {
+		return c
+	}
+	div := func(n, min int) int {
+		n /= f
+		if n < min {
+			n = min
+		}
+		return n
+	}
+	c.ComputeNodes = div(c.ComputeNodes, 2)
+	c.CoresPerNode = div(c.CoresPerNode, 1)
+	c.Servers = div(c.Servers, 2)
+	return c
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	switch {
+	case c.ComputeNodes <= 0:
+		return fmt.Errorf("cluster: ComputeNodes must be positive")
+	case c.CoresPerNode <= 0:
+		return fmt.Errorf("cluster: CoresPerNode must be positive")
+	case c.Servers <= 0:
+		return fmt.Errorf("cluster: Servers must be positive")
+	case c.ClientNIC <= 0 || c.ServerNIC <= 0:
+		return fmt.Errorf("cluster: NIC rates must be positive")
+	case c.StripeSize <= 0:
+		return fmt.Errorf("cluster: StripeSize must be positive")
+	}
+	return nil
+}
+
+// Platform is a built simulation: engine, fabric, file system, nodes.
+type Platform struct {
+	Cfg    Config
+	E      *sim.Engine
+	Rand   *sim.Rand
+	Fabric *netsim.Fabric
+	FS     *pfs.FileSystem
+
+	// Nodes are the compute hosts; process i of an application placed on
+	// nodes [a..b] shares the NIC of node a + i/CoresPerNode.
+	Nodes []*netsim.Host
+	// Servers, Devices and Caches are indexed by server id. Caches[i] is
+	// nil unless Sync is SyncOff.
+	Servers []*pfs.Server
+	Devices []storage.Device
+	Caches  []*storage.WriteCache
+}
+
+// NewDevice builds one backend device according to the config (exported so
+// the local, network-free Table I experiment can use the same calibration).
+func NewDevice(e *sim.Engine, c Config) storage.Device {
+	switch c.Backend {
+	case HDD:
+		return storage.NewHDD(e, c.HDD)
+	case SSD:
+		return storage.NewSSD(e, c.SSD)
+	case RAM:
+		return storage.NewRAM(e, c.RAM)
+	case Null:
+		return storage.NewNull(e)
+	}
+	panic("cluster: unknown backend")
+}
+
+// Build assembles the platform.
+func Build(c Config) *Platform {
+	if err := c.Validate(); err != nil {
+		panic(err)
+	}
+	e := sim.NewEngine()
+	fab := netsim.NewFabric(e, c.Net)
+	pl := &Platform{
+		Cfg:    c,
+		E:      e,
+		Rand:   sim.NewRand(c.Seed),
+		Fabric: fab,
+	}
+	sp := c.Srv
+	sp.Sync = c.Sync
+	for i := 0; i < c.Servers; i++ {
+		host := fab.NewHost(fmt.Sprintf("srv%d", i), c.ServerNIC, c.PerSeg)
+		dev := NewDevice(e, c)
+		var cache *storage.WriteCache
+		if c.Sync == pfs.SyncOff {
+			cache = storage.NewWriteCache(e, c.Cache, dev)
+		}
+		pl.Servers = append(pl.Servers, pfs.NewServer(e, i, host, dev, cache, sp))
+		pl.Devices = append(pl.Devices, dev)
+		pl.Caches = append(pl.Caches, cache)
+	}
+	for i := 0; i < c.ComputeNodes; i++ {
+		pl.Nodes = append(pl.Nodes, fab.NewHost(fmt.Sprintf("node%d", i), c.ClientNIC, c.PerSeg))
+	}
+	pl.FS = pfs.NewFileSystem(e, fab, pl.Servers)
+	pl.FS.Rand = pl.Rand.Fork()
+	pl.FS.IssueJitter = c.IssueJitter
+	return pl
+}
+
+// DeviceBytes sums bytes written to all devices.
+func (pl *Platform) DeviceBytes() int64 {
+	var n int64
+	for _, d := range pl.Devices {
+		n += d.Stats().Bytes
+	}
+	return n
+}
+
+// TotalTimeouts sums TCP retransmission timeouts across all connections.
+func (pl *Platform) TotalTimeouts() int64 {
+	var n int64
+	for _, c := range pl.Fabric.Conns() {
+		n += c.Stats().Timeouts
+	}
+	return n
+}

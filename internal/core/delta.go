@@ -1,0 +1,166 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+)
+
+// DeltaSpec describes a δ-graph experiment: two applications whose burst
+// start times are offset by each δ in Deltas (positive δ: application A
+// starts first and B δ later; negative: B first). Each δ is an independent
+// run on a fresh platform, exactly like the paper's methodology (§III-B).
+type DeltaSpec struct {
+	Cfg    cluster.Config
+	Apps   [2]AppSpec // Start fields are overwritten per point
+	Deltas []sim.Time
+}
+
+// DeltaPoint is one δ-graph sample.
+type DeltaPoint struct {
+	Delta      sim.Time
+	Elapsed    [2]sim.Time
+	IF         [2]float64 // interference factor: Elapsed / alone baseline
+	Throughput [2]float64 // bytes per second
+	Diag       Diag
+}
+
+// DeltaGraph is the full result: alone baselines plus one point per δ.
+type DeltaGraph struct {
+	Alone  [2]sim.Time
+	Points []DeltaPoint
+}
+
+// RunDelta executes the alone baselines and every δ point.
+func RunDelta(spec DeltaSpec) *DeltaGraph {
+	g := &DeltaGraph{}
+	for i := 0; i < 2; i++ {
+		g.Alone[i] = runAlone(spec, i)
+	}
+	for _, d := range spec.Deltas {
+		g.Points = append(g.Points, runPoint(spec, d, g.Alone))
+	}
+	return g
+}
+
+// runAlone measures application i running by itself.
+func runAlone(spec DeltaSpec, i int) sim.Time {
+	app := spec.Apps[i]
+	app.Start = 0
+	x := Prepare(spec.Cfg, []AppSpec{app})
+	res := x.Run()
+	return res.Apps[0].Elapsed
+}
+
+// runPoint measures both applications with B delayed by d relative to A.
+func runPoint(spec DeltaSpec, d sim.Time, alone [2]sim.Time) DeltaPoint {
+	a, b := spec.Apps[0], spec.Apps[1]
+	if d >= 0 {
+		a.Start, b.Start = 0, d
+	} else {
+		a.Start, b.Start = -d, 0
+	}
+	x := Prepare(spec.Cfg, []AppSpec{a, b})
+	res := x.Run()
+	pt := DeltaPoint{Delta: d, Diag: res.Diag}
+	for i := 0; i < 2; i++ {
+		pt.Elapsed[i] = res.Apps[i].Elapsed
+		pt.Throughput[i] = res.Apps[i].Throughput
+		if alone[i] > 0 {
+			pt.IF[i] = float64(pt.Elapsed[i]) / float64(alone[i])
+		}
+	}
+	return pt
+}
+
+// PeakIF returns the largest interference factor either application sees.
+func (g *DeltaGraph) PeakIF() float64 {
+	peak := 0.0
+	for _, p := range g.Points {
+		for i := 0; i < 2; i++ {
+			if p.IF[i] > peak {
+				peak = p.IF[i]
+			}
+		}
+	}
+	return peak
+}
+
+// PeakIFOf returns the largest interference factor of one application.
+func (g *DeltaGraph) PeakIFOf(i int) float64 {
+	peak := 0.0
+	for _, p := range g.Points {
+		if p.IF[i] > peak {
+			peak = p.IF[i]
+		}
+	}
+	return peak
+}
+
+// At returns the point with the given δ (nil if absent).
+func (g *DeltaGraph) At(d sim.Time) *DeltaPoint {
+	for i := range g.Points {
+		if g.Points[i].Delta == d {
+			return &g.Points[i]
+		}
+	}
+	return nil
+}
+
+// Unfairness quantifies the first-mover advantage: the mean, over all
+// overlapping points with δ != 0, of T(second app) / T(first app). A fair
+// (symmetric) δ-graph yields ≈ 1; values well above 1 mean the application
+// entering its I/O phase first wins — the paper's incast signature.
+func (g *DeltaGraph) Unfairness() float64 {
+	var sum float64
+	var n int
+	for _, p := range g.Points {
+		if p.Delta == 0 {
+			continue
+		}
+		first, second := 0, 1
+		if p.Delta < 0 {
+			first, second = 1, 0
+		}
+		// Only count points where the bursts actually overlapped: the
+		// second app must have seen some interference.
+		if p.IF[second] < 1.02 && p.IF[first] < 1.02 {
+			continue
+		}
+		sum += float64(p.Elapsed[second]) / float64(p.Elapsed[first])
+		n++
+	}
+	if n == 0 {
+		return 1
+	}
+	return sum / float64(n)
+}
+
+// FlatnessIF reports the peak IF minus 1 — 0 means a perfectly flat
+// (interference-free) δ-graph, the paper's criterion for "interference
+// eliminated".
+func (g *DeltaGraph) FlatnessIF() float64 { return g.PeakIF() - 1 }
+
+// Deltas builds a symmetric δ grid: ±each given second value plus zero.
+func Deltas(secs ...float64) []sim.Time {
+	out := []sim.Time{0}
+	for _, s := range secs {
+		out = append(out, sim.Seconds(s), sim.Seconds(-s))
+	}
+	sortTimes(out)
+	return out
+}
+
+func sortTimes(ts []sim.Time) {
+	for i := 1; i < len(ts); i++ {
+		for j := i; j > 0 && ts[j] < ts[j-1]; j-- {
+			ts[j], ts[j-1] = ts[j-1], ts[j]
+		}
+	}
+}
+
+func (p DeltaPoint) String() string {
+	return fmt.Sprintf("δ=%v A=%v(IF %.2f) B=%v(IF %.2f)",
+		p.Delta, p.Elapsed[0], p.IF[0], p.Elapsed[1], p.IF[1])
+}

@@ -1,0 +1,257 @@
+// Package core is the experiment harness reproducing the paper's
+// methodology: two applications (groups of processes on disjoint compute
+// nodes) perform collective I/O phases against a shared parallel file
+// system while one parameter of the I/O path is varied. The package
+// provides single runs, δ-graphs (the paper's reporting device: the time to
+// complete an I/O phase as a function of the delay δ between the two
+// applications' bursts, each point an independent experiment), interference
+// and fairness metrics, the local disk-level interference experiment of
+// Table I, and tcpdump-like probes for TCP window and progress traces.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/cluster"
+	"repro/internal/mpisim"
+	"repro/internal/netsim"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// AppSpec describes one application of an experiment.
+type AppSpec struct {
+	// Name labels the application in results ("A", "B").
+	Name string
+	// Procs is the number of processes.
+	Procs int
+	// FirstNode and ProcsPerNode place processes: process i runs on
+	// compute node FirstNode + i/ProcsPerNode. Applications in the paper
+	// occupy disjoint 30-node sets with 16 processes per node.
+	FirstNode    int
+	ProcsPerNode int
+	// Workload is the I/O phase each process performs.
+	Workload workload.Spec
+	// TargetServers stripes the application's file over a subset of
+	// servers (nil = all servers) — the paper's "targeted servers" knob.
+	TargetServers []int
+	// Stripe overrides the platform stripe size when positive.
+	Stripe int64
+	// Start is the absolute burst start time.
+	Start sim.Time
+}
+
+// Validate checks the spec against a platform configuration.
+func (a AppSpec) Validate(cfg cluster.Config) error {
+	if a.Procs <= 0 {
+		return fmt.Errorf("core: app %q needs procs > 0", a.Name)
+	}
+	if a.ProcsPerNode <= 0 {
+		return fmt.Errorf("core: app %q needs ProcsPerNode > 0", a.Name)
+	}
+	lastNode := a.FirstNode + (a.Procs-1)/a.ProcsPerNode
+	if a.FirstNode < 0 || lastNode >= cfg.ComputeNodes {
+		return fmt.Errorf("core: app %q spans nodes %d..%d beyond the %d-node platform",
+			a.Name, a.FirstNode, lastNode, cfg.ComputeNodes)
+	}
+	return a.Workload.Validate()
+}
+
+// App is an instantiated application within an experiment.
+type App struct {
+	Spec    AppSpec
+	File    *pfs.File
+	Clients []*pfs.Client
+	Timer   *mpisim.PhaseTimer
+}
+
+// Experiment is a prepared (but not yet run) simulation. Probes may be
+// attached between Prepare and Run.
+type Experiment struct {
+	Platform *cluster.Platform
+	Apps     []*App
+}
+
+// Prepare builds the platform and applications.
+func Prepare(cfg cluster.Config, specs []AppSpec) *Experiment {
+	pl := cluster.Build(cfg)
+	x := &Experiment{Platform: pl}
+	for ai, spec := range specs {
+		if err := spec.Validate(cfg); err != nil {
+			panic(err)
+		}
+		stripe := spec.Stripe
+		if stripe <= 0 {
+			stripe = cfg.StripeSize
+		}
+		app := &App{
+			Spec:  spec,
+			File:  pl.FS.CreateFile(spec.Name, spec.TargetServers, stripe),
+			Timer: mpisim.NewPhaseTimer(pl.E, spec.Procs),
+		}
+		for i := 0; i < spec.Procs; i++ {
+			node := spec.FirstNode + i/spec.ProcsPerNode
+			app.Clients = append(app.Clients, pl.FS.NewClient(pl.Nodes[node], ai))
+		}
+		x.Apps = append(x.Apps, app)
+	}
+	return x
+}
+
+// AttachWindowTrace pre-dials the connection from the given client of the
+// given app to the given server of that app's file and attaches a trace —
+// the simulator's tcpdump (Figures 10 and 11).
+func (x *Experiment) AttachWindowTrace(app, clientIdx, serverPos int) *netsim.Trace {
+	a := x.Apps[app]
+	srv := a.File.Servers()[serverPos]
+	c := a.Clients[clientIdx].ConnTo(srv)
+	c.Trace = netsim.NewTrace()
+	return c.Trace
+}
+
+// launch spawns every process of every application.
+func (x *Experiment) launch() {
+	e := x.Platform.E
+	for _, app := range x.Apps {
+		app := app
+		for rank := 0; rank < app.Spec.Procs; rank++ {
+			rank := rank
+			cl := app.Clients[rank]
+			e.Spawn(fmt.Sprintf("%s/%d", app.Spec.Name, rank), func(p *sim.Proc) {
+				if app.Spec.Start > 0 {
+					p.Sleep(app.Spec.Start)
+				}
+				app.Timer.Enter(p)
+				runPlan(p, cl, app, rank)
+				app.Timer.Done()
+			})
+		}
+	}
+}
+
+// runPlan executes the rank's request plan with the spec's queue depth.
+func runPlan(p *sim.Proc, cl *pfs.Client, app *App, rank int) {
+	wl := app.Spec.Workload
+	plan := wl.Plan(rank, app.Spec.Procs)
+	qd := wl.QD
+	think := sim.Time(wl.ThinkTime)
+	if qd <= 1 {
+		for _, ext := range plan {
+			if think > 0 {
+				p.Sleep(think)
+			}
+			if wl.Read {
+				cl.Read(p, app.File, ext.Off, ext.Size)
+			} else {
+				cl.Write(p, app.File, ext.Off, ext.Size)
+			}
+		}
+		return
+	}
+	e := cl.Host.Egress.E
+	sem := sim.NewSemaphore(qd)
+	gate := sim.NewGate(len(plan))
+	for _, ext := range plan {
+		sem.Acquire(p)
+		if think > 0 {
+			p.Sleep(think)
+		}
+		done := func() {
+			sem.Release()
+			gate.Done(e)
+		}
+		if wl.Read {
+			cl.ReadAsync(app.File, ext.Off, ext.Size, done)
+		} else {
+			cl.WriteAsync(app.File, ext.Off, ext.Size, done)
+		}
+	}
+	gate.Wait(p)
+}
+
+// AppResult is the outcome of one application's I/O phase.
+type AppResult struct {
+	Name       string
+	Start      sim.Time
+	End        sim.Time
+	Elapsed    sim.Time
+	Bytes      int64
+	Throughput float64 // bytes per second
+}
+
+// Diag aggregates platform-wide diagnostics of a run — the quantities the
+// paper uses to explain its results.
+type Diag struct {
+	PortDrops   int64 // segments tail-dropped at server ports (incast)
+	Timeouts    int64 // TCP retransmission timeouts
+	RetransSegs int64
+	DeviceSeeks int64
+	DeviceBytes int64
+	CacheBlocks int64 // writes stalled on the dirty limit
+	Events      uint64
+}
+
+// RunResult is the outcome of a single experiment run.
+type RunResult struct {
+	Apps []AppResult
+	Diag Diag
+}
+
+// Run launches all applications, drives the simulation to completion and
+// collects results.
+func (x *Experiment) Run() RunResult {
+	x.launch()
+	x.Platform.E.Run()
+	return x.collect()
+}
+
+func (x *Experiment) collect() RunResult {
+	var res RunResult
+	for _, app := range x.Apps {
+		if !app.Timer.Finished() {
+			panic(fmt.Sprintf("core: app %q did not finish (deadlock?)", app.Spec.Name))
+		}
+		bytes := app.Spec.Workload.TotalBytes(app.Spec.Procs)
+		elapsed := app.Timer.Elapsed()
+		res.Apps = append(res.Apps, AppResult{
+			Name:       app.Spec.Name,
+			Start:      app.Timer.Start(),
+			End:        app.Timer.End(),
+			Elapsed:    elapsed,
+			Bytes:      bytes,
+			Throughput: sim.Rate(bytes, elapsed),
+		})
+	}
+	pl := x.Platform
+	for _, h := range pl.Fabric.Hosts() {
+		res.Diag.PortDrops += h.Stats().PortDrops
+	}
+	for _, c := range pl.Fabric.Conns() {
+		st := c.Stats()
+		res.Diag.Timeouts += st.Timeouts
+		res.Diag.RetransSegs += st.RetransSegs
+	}
+	for _, d := range pl.Devices {
+		res.Diag.DeviceSeeks += d.Stats().Seeks
+		res.Diag.DeviceBytes += d.Stats().Bytes
+	}
+	for _, c := range pl.Caches {
+		if c != nil {
+			res.Diag.CacheBlocks += c.BlockedWrites()
+		}
+	}
+	res.Diag.Events = pl.E.Executed()
+	return res
+}
+
+// TwoAppSpecs builds the paper's canonical pair of equal applications: each
+// with procs processes at ppn per node, application A on the first half of
+// the node range, B on the second half.
+func TwoAppSpecs(cfg cluster.Config, procs, ppn int, wl workload.Spec) [2]AppSpec {
+	nodesPer := (procs + ppn - 1) / ppn
+	return [2]AppSpec{
+		{Name: "A", Procs: procs, FirstNode: 0, ProcsPerNode: ppn, Workload: wl},
+		{Name: "B", Procs: procs, FirstNode: nodesPer, ProcsPerNode: ppn, Workload: wl},
+	}
+}

@@ -1,0 +1,135 @@
+package mpisim
+
+import (
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestSplitEqualGroups(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWorld(e, 960)
+	groups := w.Split(2)
+	if len(groups) != 2 || groups[0].Size() != 480 || groups[1].Size() != 480 {
+		t.Fatalf("split: %d groups", len(groups))
+	}
+	if groups[0].Ranks()[0] != 0 || groups[1].Ranks()[0] != 480 {
+		t.Fatalf("group rank bases wrong: %d %d", groups[0].Ranks()[0], groups[1].Ranks()[0])
+	}
+}
+
+func TestSplitIndivisiblePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorld(sim.NewEngine(), 10).Split(3)
+}
+
+func TestBarrierReleasesTogether(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWorld(e, 4)
+	c := w.Comm([]int{0, 1, 2, 3})
+	var releases []sim.Time
+	for i := 0; i < 4; i++ {
+		d := sim.Time(i) * 10 * sim.Millisecond
+		e.Spawn("r", func(p *sim.Proc) {
+			p.Sleep(d)
+			c.Barrier(p)
+			releases = append(releases, p.Now())
+		})
+	}
+	e.Run()
+	if len(releases) != 4 {
+		t.Fatalf("releases = %v", releases)
+	}
+	for _, r := range releases {
+		if r != 30*sim.Millisecond {
+			t.Fatalf("release at %v, want 30ms (last arrival)", r)
+		}
+	}
+}
+
+func TestBarrierReusable(t *testing.T) {
+	e := sim.NewEngine()
+	w := NewWorld(e, 2)
+	c := w.Comm([]int{0, 1})
+	counts := [2]int{}
+	for i := 0; i < 2; i++ {
+		i := i
+		e.Spawn("r", func(p *sim.Proc) {
+			for round := 0; round < 5; round++ {
+				p.Sleep(sim.Time(i+1) * sim.Millisecond)
+				c.Barrier(p)
+				counts[i]++
+			}
+		})
+	}
+	e.Run()
+	if counts[0] != 5 || counts[1] != 5 {
+		t.Fatalf("rounds = %v", counts)
+	}
+}
+
+func TestPhaseTimerMeasuresCollectivePhase(t *testing.T) {
+	e := sim.NewEngine()
+	pt := NewPhaseTimer(e, 3)
+	// Ranks arrive staggered, work for different durations.
+	work := []sim.Time{50, 20, 80} // ms
+	for i := 0; i < 3; i++ {
+		i := i
+		e.Spawn("r", func(p *sim.Proc) {
+			p.Sleep(sim.Time(i) * 5 * sim.Millisecond) // staggered arrival
+			pt.Enter(p)
+			p.Sleep(work[i] * sim.Millisecond)
+			pt.Done()
+		})
+	}
+	e.Run()
+	if !pt.Finished() {
+		t.Fatal("phase not finished")
+	}
+	// Start at last arrival (10ms), end at start+80ms.
+	if pt.Start() != 10*sim.Millisecond {
+		t.Fatalf("start = %v", pt.Start())
+	}
+	if pt.Elapsed() != 80*sim.Millisecond {
+		t.Fatalf("elapsed = %v, want 80ms", pt.Elapsed())
+	}
+}
+
+func TestPhaseTimerOnEndAndAwait(t *testing.T) {
+	e := sim.NewEngine()
+	pt := NewPhaseTimer(e, 2)
+	fired := false
+	pt.OnEnd(func() { fired = true })
+	var awaited sim.Time
+	e.Spawn("watcher", func(p *sim.Proc) {
+		pt.AwaitEnd(p)
+		awaited = p.Now()
+	})
+	for i := 0; i < 2; i++ {
+		e.Spawn("r", func(p *sim.Proc) {
+			pt.Enter(p)
+			p.Sleep(25 * sim.Millisecond)
+			pt.Done()
+		})
+	}
+	e.Run()
+	if !fired {
+		t.Fatal("OnEnd not fired")
+	}
+	if awaited != 25*sim.Millisecond {
+		t.Fatalf("awaited = %v", awaited)
+	}
+}
+
+func TestNewWorldPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewWorld(sim.NewEngine(), 0)
+}

@@ -1,0 +1,355 @@
+package netsim
+
+import "repro/internal/sim"
+
+// Message is an application-level message carried on a connection. Messages
+// are delivered in order; a message becomes *readable* at the receiver once
+// all of its bytes have been accepted, and occupies receive-buffer space
+// until the application consumes it with ReadHead.
+type Message struct {
+	Size int64
+	Meta interface{}
+
+	endSeq   int64 // stream position of the last byte + 1
+	notified bool
+}
+
+// ConnStats are cumulative per-connection counters.
+type ConnStats struct {
+	SentSegs    int64 // segments transmitted (including retransmissions)
+	AckedBytes  int64
+	RetransSegs int64
+	Timeouts    int64
+	RcvdSegs    int64 // segments accepted in order
+	OOODropped  int64 // out-of-order segments discarded (go-back-N)
+	WndDropped  int64 // segments beyond the advertised window, discarded
+}
+
+// Conn is a unidirectional data connection (client pushes to server) with a
+// lightweight reverse path for replies. It implements the transport
+// described in the package comment.
+type Conn struct {
+	ID  int
+	F   *Fabric
+	Src *Host // client side
+	Dst *Host // server side
+
+	// App is an opaque tag for the owner (e.g. which application/process).
+	App int
+
+	// OnReadable, set by the server side, fires when the head message has
+	// fully arrived. The server consumes it later with ReadHead.
+	OnReadable func(c *Conn, m *Message)
+	// OnReply, set by the client side, fires when a reverse-path message
+	// arrives.
+	OnReply func(meta interface{})
+
+	// ---- sender state ----
+	sendQ       []*Message
+	appendedSeq int64 // bytes ever queued
+	nextSeq     int64 // next byte to transmit
+	ackedSeq    int64 // cumulative ack
+	cwnd        float64
+	ssthresh    float64
+	rwndEst     int64 // receiver window last advertised
+	rto         sim.Time
+	rtoArmed    bool
+	lastProg    sim.Time // time of last ack progress (for the RTO check)
+	highSent    int64    // highest byte ever transmitted
+
+	// ---- receiver state ----
+	rcvNext  int64 // next in-order byte expected
+	readSeq  int64 // bytes consumed by the server application
+	rcvQ     []*Message
+	deliverQ int64 // bytes of fully-arrived (readable) head messages
+
+	stats ConnStats
+	Trace *Trace // optional; set by probes
+}
+
+// Dial creates a connection from src to dst.
+func (f *Fabric) Dial(src, dst *Host, app int) *Conn {
+	c := &Conn{
+		ID:       len(f.conns),
+		F:        f,
+		Src:      src,
+		Dst:      dst,
+		App:      app,
+		cwnd:     f.P.InitCwnd,
+		ssthresh: f.P.InitSSThresh,
+		rwndEst:  f.P.Rmem,
+		rto:      f.P.RTOBase,
+	}
+	f.conns = append(f.conns, c)
+	return c
+}
+
+// Stats returns the connection's counters.
+func (c *Conn) Stats() ConnStats { return c.stats }
+
+// Cwnd returns the congestion window in segments.
+func (c *Conn) Cwnd() float64 { return c.cwnd }
+
+// EffectiveWindow returns the sender's current usable window in bytes:
+// min(cwnd·MSS, advertised receive window).
+func (c *Conn) EffectiveWindow() int64 {
+	w := int64(c.cwnd * float64(c.F.P.MSS))
+	if c.rwndEst < w {
+		w = c.rwndEst
+	}
+	return w
+}
+
+// AckedBytes returns the bytes cumulatively acknowledged.
+func (c *Conn) AckedBytes() int64 { return c.ackedSeq }
+
+// QueuedBytes returns bytes accepted by Send but not yet acknowledged.
+func (c *Conn) QueuedBytes() int64 { return c.appendedSeq - c.ackedSeq }
+
+// Unread returns bytes held in the receive buffer (accepted, unconsumed).
+func (c *Conn) Unread() int64 { return c.rcvNext - c.readSeq }
+
+// Send queues m for transmission. Delivery order is Send order.
+func (c *Conn) Send(m *Message) {
+	if m.Size <= 0 {
+		panic("netsim: message size must be positive")
+	}
+	c.appendedSeq += m.Size
+	m.endSeq = c.appendedSeq
+	c.sendQ = append(c.sendQ, m)
+	mm := *m
+	mm.notified = false
+	c.rcvQ = append(c.rcvQ, &mm) // receiver-side framing mirror
+	c.pump()
+}
+
+// pump transmits as many segments as the windows allow.
+func (c *Conn) pump() {
+	mss := c.F.P.MSS
+	for {
+		if c.nextSeq >= c.appendedSeq {
+			return // nothing to send
+		}
+		win := c.EffectiveWindow()
+		inFlight := c.nextSeq - c.ackedSeq
+		if inFlight >= win {
+			return
+		}
+		seg := mss
+		if rem := c.appendedSeq - c.nextSeq; rem < seg {
+			seg = rem
+		}
+		if avail := win - inFlight; avail < seg {
+			// Send a short segment only if it closes the remaining window;
+			// otherwise wait (avoid silly-window syndrome).
+			if avail < seg && inFlight > 0 {
+				return
+			}
+			seg = avail
+		}
+		if seg <= 0 {
+			return
+		}
+		c.transmit(c.nextSeq, seg)
+		c.nextSeq += seg
+	}
+}
+
+// transmit sends one segment [seq, seq+size) through the network.
+func (c *Conn) transmit(seq, size int64) {
+	c.stats.SentSegs++
+	if seq < c.highSent {
+		c.stats.RetransSegs++
+	}
+	if end := seq + size; end > c.highSent {
+		c.highSent = end
+	}
+	if c.Trace != nil {
+		c.Trace.sampleSend(c)
+	}
+	c.armRTO()
+	c.Src.Egress.Send(size, func() { c.arriveAtPort(seq, size) })
+}
+
+// arriveAtPort is the segment reaching the receiver's switch port.
+func (c *Conn) arriveAtPort(seq, size int64) {
+	h := c.Dst
+	if h.portQ+size > c.F.P.PortBuf {
+		h.stats.PortDrops++
+		h.stats.PortDropped += size
+		return // tail drop; sender recovers via RTO
+	}
+	h.portQ += size
+	h.stats.SegsIn++
+	h.stats.BytesIn += size
+	h.Ingress.Send(size, func() {
+		h.portQ -= size
+		c.receive(seq, size)
+	})
+}
+
+// receive handles an in-order segment at the server NIC.
+func (c *Conn) receive(seq, size int64) {
+	if seq != c.rcvNext {
+		// Go-back-N receiver: discard out-of-order segments. (Bytes below
+		// rcvNext are stale retransmissions; above are gaps after a loss.)
+		c.stats.OOODropped++
+		c.sendAck() // dupack refreshes the sender's window estimate
+		return
+	}
+	if c.rcvNext+size-c.readSeq > c.F.P.Rmem {
+		// Beyond the advertised window (stale window estimate at sender).
+		c.stats.WndDropped++
+		c.sendAck()
+		return
+	}
+	c.rcvNext += size
+	c.stats.RcvdSegs++
+	c.notifyReadable()
+	c.sendAck()
+}
+
+// notifyReadable fires OnReadable for every fully-arrived head message that
+// has not been announced yet.
+func (c *Conn) notifyReadable() {
+	for _, m := range c.rcvQ {
+		if m.endSeq > c.rcvNext {
+			break
+		}
+		if m.notified {
+			continue
+		}
+		m.notified = true
+		if c.OnReadable != nil {
+			m := m
+			c.F.E.Schedule(0, func() { c.OnReadable(c, m) })
+		}
+	}
+}
+
+// ReadHead consumes the head message from the receive buffer, freeing its
+// bytes and advertising the wider window to the sender.
+func (c *Conn) ReadHead() *Message {
+	if len(c.rcvQ) == 0 {
+		panic("netsim: ReadHead on empty receive queue")
+	}
+	m := c.rcvQ[0]
+	if m.endSeq > c.rcvNext {
+		panic("netsim: ReadHead before message fully arrived")
+	}
+	copy(c.rcvQ, c.rcvQ[1:])
+	c.rcvQ = c.rcvQ[:len(c.rcvQ)-1]
+	c.readSeq = m.endSeq
+	// Window update travels on the reverse path.
+	rwnd := c.F.P.Rmem - c.Unread()
+	ack := c.rcvNext
+	c.F.E.Schedule(c.F.P.AckLatency, func() { c.handleAck(ack, rwnd) })
+	return m
+}
+
+// sendAck sends a cumulative ACK carrying the current advertised window.
+func (c *Conn) sendAck() {
+	ack := c.rcvNext
+	rwnd := c.F.P.Rmem - c.Unread()
+	c.F.E.Schedule(c.F.P.AckLatency, func() { c.handleAck(ack, rwnd) })
+}
+
+// handleAck runs at the sender when an ACK/window update arrives.
+func (c *Conn) handleAck(ack, rwnd int64) {
+	c.rwndEst = rwnd
+	if ack > c.ackedSeq {
+		advanced := ack - c.ackedSeq
+		c.ackedSeq = ack
+		c.stats.AckedBytes = c.ackedSeq
+		c.lastProg = c.F.E.Now()
+		c.rto = c.F.P.RTOBase // progress resets backoff
+		// Window growth per ACKed segment-equivalent.
+		segs := float64(advanced) / float64(c.F.P.MSS)
+		if c.cwnd < c.ssthresh {
+			c.cwnd += segs // slow start
+		} else {
+			c.cwnd += segs / c.cwnd // congestion avoidance
+		}
+		if c.cwnd > c.F.P.MaxCwnd {
+			c.cwnd = c.F.P.MaxCwnd
+		}
+		c.dropHeadMessages()
+	}
+	if c.Trace != nil {
+		c.Trace.sampleAck(c)
+	}
+	c.pump()
+}
+
+// dropHeadMessages releases fully-acknowledged messages from the send queue.
+func (c *Conn) dropHeadMessages() {
+	i := 0
+	for ; i < len(c.sendQ); i++ {
+		if c.sendQ[i].endSeq > c.ackedSeq {
+			break
+		}
+	}
+	if i > 0 {
+		c.sendQ = append(c.sendQ[:0], c.sendQ[i:]...)
+	}
+}
+
+// armRTO starts the retransmission timer if it is not running.
+func (c *Conn) armRTO() {
+	if c.rtoArmed {
+		return
+	}
+	c.rtoArmed = true
+	c.lastProg = c.F.E.Now()
+	deadline := c.F.E.Now() + c.rto
+	c.F.E.At(deadline, func() { c.checkRTO(deadline) })
+}
+
+// checkRTO fires when the timer expires; if progress happened meanwhile the
+// timer is re-armed from the time of that progress.
+func (c *Conn) checkRTO(deadline sim.Time) {
+	c.rtoArmed = false
+	if c.ackedSeq >= c.appendedSeq {
+		return // everything delivered; leave the timer off
+	}
+	if c.nextSeq <= c.ackedSeq {
+		// Nothing in flight: the sender is window-stalled, not suffering
+		// loss. A window update will restart transmission; do not back off.
+		return
+	}
+	if c.lastProg+c.rto > deadline {
+		// Progress since arming: re-arm relative to it.
+		c.rtoArmed = true
+		nd := c.lastProg + c.rto
+		c.F.E.At(nd, func() { c.checkRTO(nd) })
+		return
+	}
+	// Timeout: go-back-N from the cumulative ACK with multiplicative
+	// backoff.
+	c.stats.Timeouts++
+	c.ssthresh = c.cwnd / 2
+	if c.ssthresh < 2 {
+		c.ssthresh = 2
+	}
+	c.cwnd = 1
+	c.rto *= 2
+	if c.rto > c.F.P.RTOMax {
+		c.rto = c.F.P.RTOMax
+	}
+	c.nextSeq = c.ackedSeq
+	if c.Trace != nil {
+		c.Trace.sampleTimeout(c)
+	}
+	c.pump()
+}
+
+// Reply sends a small server-to-client message on the reverse path. It uses
+// the server's egress NIC and the switch, but no congestion control — the
+// forward data path dwarfs replies.
+func (c *Conn) Reply(size int64, meta interface{}) {
+	c.Dst.Egress.Send(size, func() {
+		if c.OnReply != nil {
+			c.OnReply(meta)
+		}
+	})
+}

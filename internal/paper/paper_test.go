@@ -1,0 +1,204 @@
+package paper
+
+// Integration tests asserting the qualitative shapes of the paper's
+// findings on heavily scaled-down platforms. These are the repository's
+// acceptance tests: if one fails, a model change broke a reproduced result.
+
+import (
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/sim"
+)
+
+const testDiv = 16 // 3 nodes, 2 servers, 16 procs/app — fast
+
+func TestTable1Shape(t *testing.T) {
+	rows := Table1()
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// HDD > SSD > RAM in both absolute time and slowdown (the paper's
+	// ordering), with slowdowns in the measured bands.
+	if !(rows[0].Slowdown > rows[1].Slowdown && rows[1].Slowdown > rows[2].Slowdown) {
+		t.Fatalf("slowdown ordering violated: %+v", rows)
+	}
+	if rows[0].Slowdown < 2.2 || rows[0].Slowdown > 2.8 {
+		t.Fatalf("HDD slowdown %.2f outside [2.2, 2.8] (paper: 2.49)", rows[0].Slowdown)
+	}
+	if rows[2].Slowdown < 1.35 || rows[2].Slowdown > 1.8 {
+		t.Fatalf("RAM slowdown %.2f outside [1.35, 1.8] (paper: 1.58)", rows[2].Slowdown)
+	}
+}
+
+func TestFig5SyncOffCounterintuitive(t *testing.T) {
+	// The paper's headline: with sync off, 10G interferes (~2x) while 1G
+	// eliminates interference entirely.
+	s := Fig5(testDiv, false, GridCoarse)
+	if len(s) != 2 {
+		t.Fatalf("series = %d", len(s))
+	}
+	if got := s[0].Graph.PeakIF(); got < 1.5 {
+		t.Errorf("10G sync-off peak IF = %.2f, want clear interference (>1.5)", got)
+	}
+	if got := s[1].Graph.PeakIF(); got > 1.2 {
+		t.Errorf("1G sync-off peak IF = %.2f, want ~1 (interference eliminated)", got)
+	}
+}
+
+func TestFig4WritersPerNode(t *testing.T) {
+	// δ=±10s guarantees overlap at this scale; the Fig4 driver's grid spans
+	// the paper's ±60s, which exceeds the scaled alone time.
+	cfg := Config(8)
+	allCores := twoApps(cfg, ContigSpec())
+	gAll := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: allCores, Deltas: core.Deltas(10)})
+
+	wl := ContigSpec()
+	wl.BlockBytes = BlockBytes * int64(cfg.CoresPerNode)
+	one := core.TwoAppSpecs(cfg, cfg.ComputeNodes/2, 1, wl)
+	gOne := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: one, Deltas: core.Deltas(10)})
+
+	// All cores writing: asymmetric (first app wins). One writer per node:
+	// fair. The paper's §IV-A2 lesson.
+	if gAll.Unfairness() < gOne.Unfairness()+0.1 {
+		t.Errorf("unfairness 16cpn=%.2f vs 1cpn=%.2f: expected clear contrast",
+			gAll.Unfairness(), gOne.Unfairness())
+	}
+	// And fewer writers per node is faster for a single application.
+	if gOne.Alone[0] >= gAll.Alone[0] {
+		t.Errorf("1cpn alone (%v) should beat 16cpn alone (%v)", gOne.Alone[0], gAll.Alone[0])
+	}
+}
+
+func TestFig7SplitServersRAM(t *testing.T) {
+	s := Fig7(testDiv, cluster.RAM, GridCoarse)
+	if got := s[0].Graph.PeakIF(); got < 1.4 {
+		t.Errorf("shared-server IF = %.2f, want interference", got)
+	}
+	if got := s[1].Graph.PeakIF(); got > 1.2 {
+		t.Errorf("split-server IF = %.2f, want ~1 (interference removed)", got)
+	}
+	if u := s[1].Graph.Unfairness(); u > 1.15 || u < 0.85 {
+		t.Errorf("split-server unfairness = %.2f, want fair", u)
+	}
+}
+
+func TestFig9RequestSizeTradeoff(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-minute strided runs")
+	}
+	// Sync off: small requests are interference-free but far from optimal.
+	// Scale 4 keeps the paper's load-per-server ratio (the effect needs a
+	// loaded system: at tiny scales even big requests do not contend).
+	s := Fig9(4, false, []int64{64 << 10, 512 << 10}, GridCoarse)
+	small, big := s[0].Graph, s[1].Graph
+	if got := small.PeakIF(); got > 1.35 {
+		t.Errorf("64K request IF = %.2f, want ~1 (no interference)", got)
+	}
+	if got := big.PeakIF(); got < 1.6 {
+		t.Errorf("512K request IF = %.2f, want clear interference", got)
+	}
+	if small.Alone[0] <= big.Alone[0] {
+		t.Errorf("64K alone (%v) should be much slower than 512K alone (%v) — 'far from optimal'",
+			small.Alone[0], big.Alone[0])
+	}
+}
+
+func TestFig10WindowCollapse(t *testing.T) {
+	alone, contended := Fig10(testDiv)
+	if alone.Len() == 0 || contended.Len() == 0 {
+		t.Fatal("traces empty")
+	}
+	if alone.MaxWnd() < 8 {
+		t.Errorf("alone max window = %.1f, expected a healthy window", alone.MaxWnd())
+	}
+	if contended.MinWnd() >= 1 {
+		t.Errorf("contended min window = %.1f, expected collapse toward 0", contended.MinWnd())
+	}
+}
+
+func TestFig11SecondAppStarves(t *testing.T) {
+	res := Fig11(testDiv)
+	// Mid-run, the first application's connection must be far ahead of the
+	// second's in relative progress (Figure 11's 90% vs 40% contrast).
+	mid := res.End / 2
+	pa := res.TraceA.ProgressAt(mid, res.TotalA)
+	pb := res.TraceB.ProgressAt(mid, res.TotalB)
+	if pa < pb+0.2 {
+		t.Errorf("mid-run progress A=%.2f B=%.2f: first app should be far ahead", pa, pb)
+	}
+}
+
+func TestFig12IncastGrowsWithClients(t *testing.T) {
+	cfg := Config(8)
+	run := func(procs int) *core.DeltaGraph {
+		apps := core.TwoAppSpecs(cfg, procs, cfg.CoresPerNode, ContigSpec())
+		return core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+	}
+	few := run(8).Unfairness()
+	many := run(ProcsPerApp(cfg)).Unfairness()
+	if many < few+0.1 {
+		t.Errorf("unfairness few=%.2f many=%.2f: incast signature should grow with clients", few, many)
+	}
+}
+
+func TestFig6ThroughputScales(t *testing.T) {
+	pts, series := Fig6(4, []int{8, 24}, GridCoarse)
+	if len(pts) != 2 || len(series) != 2 {
+		t.Fatalf("pts=%d series=%d", len(pts), len(series))
+	}
+	if pts[1].MaxBps <= pts[0].MaxBps {
+		t.Errorf("throughput did not scale with servers: %v vs %v", pts[0].MaxBps, pts[1].MaxBps)
+	}
+	// Table II: the interference factor does not shrink as servers grow.
+	// (Our δ=0 values run 2.0-3.4 vs the paper's 2.0-2.3: simultaneous
+	// slow-start collisions inflate the peak; see EXPERIMENTS.md.)
+	for _, p := range pts {
+		if p.PeakIF < 1.4 || p.PeakIF > 3.6 {
+			t.Errorf("peak IF %.2f at %d servers outside [1.4, 3.6]", p.PeakIF, p.Servers)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	run := func() [2]sim.Time {
+		cfg := Config(testDiv)
+		apps := twoApps(cfg, ContigSpec())
+		g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: []sim.Time{10 * sim.Second}})
+		return g.Points[0].Elapsed
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("simulation not deterministic: %v vs %v", a, b)
+	}
+}
+
+func TestScaledConfigInvariants(t *testing.T) {
+	for _, div := range []int{1, 2, 4, 8, 16, 100} {
+		cfg := Config(div)
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("div %d: %v", div, err)
+		}
+		if ProcsPerApp(cfg) < 1 {
+			t.Fatalf("div %d: no procs", div)
+		}
+		// Two apps must always fit on the platform.
+		apps := twoApps(cfg, ContigSpec())
+		for _, a := range apps {
+			if err := a.Validate(cfg); err != nil {
+				t.Fatalf("div %d: %v", div, err)
+			}
+		}
+	}
+}
+
+func TestStridedSpecMatchesPaper(t *testing.T) {
+	wl := StridedSpec(256 << 10)
+	if wl.Requests() != 256 {
+		t.Fatalf("strided spec has %d requests, paper issues 256", wl.Requests())
+	}
+	if err := wl.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,119 @@
+package paper
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// RenderSeries turns labeled δ-graphs into one table: a row per δ with one
+// column pair (write time, IF) per series, using application A (the paper
+// plots one application when both are symmetric, and we add B for the
+// asymmetric cases).
+func RenderSeries(title string, series []Series) *report.Table {
+	cols := []string{"delta_s"}
+	for _, s := range series {
+		cols = append(cols, s.Label+"_A_s", s.Label+"_B_s", s.Label+"_IF_A", s.Label+"_IF_B")
+	}
+	t := report.New(title, cols...)
+	if len(series) == 0 {
+		return t
+	}
+	for i := range series[0].Graph.Points {
+		row := []interface{}{series[0].Graph.Points[i].Delta.Seconds()}
+		for _, s := range series {
+			p := s.Graph.Points[i]
+			row = append(row, p.Elapsed[0].Seconds(), p.Elapsed[1].Seconds(), p.IF[0], p.IF[1])
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// RenderAlone emits the alone baselines and summary metrics per series.
+func RenderAlone(title string, series []Series) *report.Table {
+	t := report.New(title, "series", "alone_A_s", "alone_B_s", "peak_IF", "unfairness")
+	for _, s := range series {
+		t.Add(s.Label, s.Graph.Alone[0].Seconds(), s.Graph.Alone[1].Seconds(),
+			s.Graph.PeakIF(), s.Graph.Unfairness())
+	}
+	return t
+}
+
+// RenderTable1 formats the Table I reproduction next to the paper's values.
+func RenderTable1(rows []core.LocalResult) *report.Table {
+	t := report.New("Table I: local write, alone vs interfering",
+		"device", "alone_s", "interfering_s", "slowdown", "paper_alone_s", "paper_slowdown")
+	paperVals := map[string][2]float64{
+		"hdd": {13.4, 2.49},
+		"ssd": {2.27, 1.96},
+		"ram": {1.32, 1.58},
+	}
+	for _, r := range rows {
+		pv := paperVals[r.Backend.String()]
+		t.Add(r.Backend.String(), r.Alone.Seconds(), r.Together.Seconds(), r.Slowdown, pv[0], pv[1])
+	}
+	return t
+}
+
+// RenderScaling formats Figure 6(a): throughput vs number of servers.
+func RenderScaling(points []ScalePoint) *report.Table {
+	t := report.New("Figure 6(a): throughput scaling with servers",
+		"servers", "max_GBps", "min_GBps")
+	for _, p := range points {
+		t.Add(p.Servers, p.MaxBps/1e9, p.MinBps/1e9)
+	}
+	return t
+}
+
+// RenderTable2 formats Table II: peak interference factor per server count.
+func RenderTable2(points []ScalePoint) *report.Table {
+	t := report.New("Table II: peak interference factor vs servers",
+		"servers", "interference_factor", "paper")
+	paperVals := map[int]float64{24: 2.00, 12: 2.07, 8: 2.28, 4: 2.22}
+	for _, p := range points {
+		pv := ""
+		if v, ok := paperVals[p.Servers]; ok {
+			pv = fmt.Sprintf("%.2f", v)
+		}
+		t.Add(p.Servers, p.PeakIF, pv)
+	}
+	return t
+}
+
+// RenderTrace formats a window trace as (sample, window) rows — Figure 10's
+// "TCP window size per request".
+func RenderTrace(title string, tr *netsim.Trace, maxRows int) *report.Table {
+	t := report.New(title, "request_no", "window_x2048B", "time_s")
+	sends := 0
+	for i, k := range tr.Kind {
+		if k != netsim.SampleSend {
+			continue
+		}
+		sends++
+		if maxRows > 0 && sends > maxRows {
+			break
+		}
+		t.Add(sends, tr.Wnd[i], tr.Times[i].Seconds())
+	}
+	return t
+}
+
+// RenderProgress formats Figure 11: window and transfer progress over time
+// for one connection.
+func RenderProgress(title string, tr *netsim.Trace, total int64, step float64, until float64) *report.Table {
+	t := report.New(title, "time_s", "window_x2048B", "progress_pct")
+	var wnd float64
+	j := 0
+	for x := 0.0; x <= until; x += step {
+		for j < len(tr.Times) && tr.Times[j].Seconds() <= x {
+			wnd = tr.Wnd[j]
+			j++
+		}
+		t.Add(x, wnd, 100*tr.ProgressAt(sim.Seconds(x), total))
+	}
+	return t
+}

@@ -1,0 +1,88 @@
+package pfs
+
+import (
+	"fmt"
+
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// FileSystem ties a set of storage servers into one deployment and hands
+// out files and clients. It corresponds to one mounted PVFS volume.
+type FileSystem struct {
+	E       *sim.Engine
+	Fabric  *netsim.Fabric
+	Servers []*Server
+
+	// Rand and IssueJitter model network/scheduling noise: each request's
+	// per-server queue position is perturbed by up to IssueJitter. This
+	// decorrelates the service order across servers — the reason a request
+	// striped over many servers completes at the pace of its slowest
+	// server (the paper's stripe-size and request-size effects, §IV-A6/7).
+	Rand        *sim.Rand
+	IssueJitter sim.Time
+
+	nextClient int
+}
+
+// jitteredIssue returns the request's queue-ordering timestamp for one
+// server.
+func (fs *FileSystem) jitteredIssue() sim.Time {
+	t := fs.E.Now()
+	if fs.Rand != nil && fs.IssueJitter > 0 {
+		t += sim.Time(fs.Rand.Int63n(int64(fs.IssueJitter)))
+	}
+	return t
+}
+
+// NewFileSystem assembles a deployment from already-built servers.
+func NewFileSystem(e *sim.Engine, fabric *netsim.Fabric, servers []*Server) *FileSystem {
+	return &FileSystem{E: e, Fabric: fabric, Servers: servers}
+}
+
+// File is a striped file. Its data is distributed round-robin over a fixed
+// list of servers (possibly a subset of the deployment — the paper's
+// "targeted servers" experiment partitions servers between applications).
+type File struct {
+	Name    string
+	fs      *FileSystem
+	servers []*Server
+	layout  Layout
+	locals  []storage.FileID // per server position
+}
+
+// CreateFile creates a file striped over the servers at the given indexes
+// with the given stripe size. A nil or empty index list means all servers.
+func (fs *FileSystem) CreateFile(name string, serverIdx []int, stripe int64) *File {
+	if stripe <= 0 {
+		panic("pfs: stripe must be positive")
+	}
+	if len(serverIdx) == 0 {
+		serverIdx = make([]int, len(fs.Servers))
+		for i := range serverIdx {
+			serverIdx[i] = i
+		}
+	}
+	f := &File{
+		Name:    name,
+		fs:      fs,
+		servers: make([]*Server, len(serverIdx)),
+		layout:  Layout{Width: len(serverIdx), Stripe: stripe},
+		locals:  make([]storage.FileID, len(serverIdx)),
+	}
+	for pos, idx := range serverIdx {
+		if idx < 0 || idx >= len(fs.Servers) {
+			panic(fmt.Sprintf("pfs: server index %d out of range", idx))
+		}
+		f.servers[pos] = fs.Servers[idx]
+		f.locals[pos] = fs.Servers[idx].newFileID()
+	}
+	return f
+}
+
+// Layout returns the file's striping parameters.
+func (f *File) Layout() Layout { return f.layout }
+
+// Servers returns the servers the file is striped over.
+func (f *File) Servers() []*Server { return f.servers }

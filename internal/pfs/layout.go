@@ -1,0 +1,95 @@
+// Package pfs models a PVFS/OrangeFS-like parallel file system: files are
+// striped round-robin across a set of storage servers; clients split logical
+// requests into per-server pieces, ship them over per-(client,server) TCP
+// connections in flow-buffer-sized chunks (the PVFS flow protocol), and
+// servers push the chunks through a Trove-like layer to the backend device,
+// either synchronously ("Sync ON": the reply waits for the device),
+// write-back through the kernel cache ("Sync OFF"), or discarding data
+// ("null-aio").
+//
+// The deliberate mirror of PVFS's structure matters because the paper's
+// central finding — incast-driven unfairness — emerges from Trove having no
+// flow control of its own: a slow device stalls the flow buffers, which
+// stalls socket reads, which closes TCP windows.
+package pfs
+
+// Layout describes round-robin striping over Width servers with a fixed
+// stripe size (PVFS "simple_stripe").
+type Layout struct {
+	Width  int   // number of servers the file is striped over
+	Stripe int64 // stripe size in bytes
+}
+
+// Piece is one stripe fragment of a logical extent, in file order.
+type Piece struct {
+	SrvPos int   // position in the file's server list
+	Local  int64 // offset within the server-local byte stream
+	Size   int64
+}
+
+// Run is a contiguous extent in a server-local byte stream.
+type Run struct {
+	Local int64
+	Size  int64
+}
+
+// Map splits the logical extent [off, off+size) into stripe pieces in file
+// order. The server-local offset of global stripe g (= off/Stripe) is
+// (g/Width)*Stripe plus the offset within the stripe: consecutive stripes
+// assigned to a server are adjacent in its local stream, so contiguous
+// logical extents are contiguous locally — and strided ones leave holes.
+func (l Layout) Map(off, size int64) []Piece {
+	if l.Width <= 0 || l.Stripe <= 0 {
+		panic("pfs: invalid layout")
+	}
+	if off < 0 || size < 0 {
+		panic("pfs: negative extent")
+	}
+	var out []Piece
+	for size > 0 {
+		g := off / l.Stripe
+		in := off % l.Stripe
+		n := l.Stripe - in
+		if n > size {
+			n = size
+		}
+		out = append(out, Piece{
+			SrvPos: int(g % int64(l.Width)),
+			Local:  (g/int64(l.Width))*l.Stripe + in,
+			Size:   n,
+		})
+		off += n
+		size -= n
+	}
+	return out
+}
+
+// PerServer maps the extent and merges contiguous pieces per server,
+// returning one slice of local runs for each server position (empty slices
+// for untouched servers).
+func (l Layout) PerServer(off, size int64) [][]Run {
+	runs := make([][]Run, l.Width)
+	for _, p := range l.Map(off, size) {
+		rs := runs[p.SrvPos]
+		if n := len(rs); n > 0 && rs[n-1].Local+rs[n-1].Size == p.Local {
+			rs[n-1].Size += p.Size
+		} else {
+			rs = append(rs, Run{Local: p.Local, Size: p.Size})
+		}
+		runs[p.SrvPos] = rs
+	}
+	return runs
+}
+
+// ServersTouched returns how many distinct servers the extent involves —
+// the quantity the paper manipulates in the stripe-size and request-size
+// experiments (fewer servers per request ⇒ less global synchronization).
+func (l Layout) ServersTouched(off, size int64) int {
+	touched := 0
+	for _, rs := range l.PerServer(off, size) {
+		if len(rs) > 0 {
+			touched++
+		}
+	}
+	return touched
+}

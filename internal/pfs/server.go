@@ -1,0 +1,359 @@
+package pfs
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// SyncMode selects how a server persists incoming writes, mirroring the
+// OrangeFS TroveSyncData setting plus the null-aio method.
+type SyncMode int
+
+// Sync modes.
+const (
+	// SyncOn flushes each operation to the device before replying.
+	SyncOn SyncMode = iota
+	// SyncOff acknowledges once data reaches the kernel write-back cache.
+	SyncOff
+	// NullAIO discards data immediately (PVFS's null-aio).
+	NullAIO
+)
+
+func (m SyncMode) String() string {
+	switch m {
+	case SyncOn:
+		return "sync-on"
+	case SyncOff:
+		return "sync-off"
+	case NullAIO:
+		return "null-aio"
+	}
+	return "unknown"
+}
+
+// ReadPolicy selects which queued request a server grants the next free
+// flow slot. FIFO models PVFS (no coordination, "no particular scheduling
+// mechanism at the server side" — §IV-B1); the alternatives are the
+// server-side coordination ablations discussed in the paper's related work.
+type ReadPolicy int
+
+// Read policies.
+const (
+	// ReadFIFO admits requests in arrival order (PVFS behavior).
+	ReadFIFO ReadPolicy = iota
+	// ReadAppOrdered always prefers the lowest application ID first, making
+	// every server process applications in the same global order (the
+	// server-side coordination of Song et al., SC'11).
+	ReadAppOrdered
+	// ReadRoundRobin alternates flow grants between applications.
+	ReadRoundRobin
+)
+
+// ServerParams configures a storage server's software stack.
+type ServerParams struct {
+	Sync SyncMode
+	// FlowBufSize is the chunk size of the flow protocol; client requests
+	// are carved into chunks of at most this many bytes, and a flow pulls
+	// one chunk at a time from its socket.
+	FlowBufSize int64
+	// FlowBufs is the number of concurrent flows (requests being actively
+	// served). Requests beyond it queue *unread in their sockets* — this
+	// bound, not any explicit flow control in Trove, is what back-pressures
+	// the network and collapses TCP windows when the backend is slow.
+	FlowBufs int
+	// FlowDepth caps how many chunks one flow keeps in flight toward the
+	// device (PVFS flow buffers per flow).
+	FlowDepth int
+	// FlowPool is a shared pool of flow-buffer credits: each active flow
+	// may keep up to max(1, min(FlowDepth, FlowPool/activeFlows)) chunks in
+	// flight. Few concurrent streams therefore pipeline deeply (long
+	// sequential runs at the disk); many streams fragment into short runs —
+	// the single-application cost of many writers per node (Figure 4).
+	FlowPool int
+	// CPUPerChunk is the fixed request-processing cost per chunk.
+	CPUPerChunk sim.Time
+	// CPUBytesPerSec is the server's memory/protocol processing rate.
+	CPUBytesPerSec float64
+	// RespBytes is the size of the reply message.
+	RespBytes int64
+	// Policy selects the request scheduling policy (default FIFO).
+	Policy ReadPolicy
+}
+
+// DefaultServerParams models OrangeFS 2.8.3 on the paper's hardware.
+func DefaultServerParams() ServerParams {
+	return ServerParams{
+		Sync:           SyncOn,
+		FlowBufSize:    256 << 10,
+		FlowBufs:       16,
+		FlowDepth:      16,
+		FlowPool:       64,
+		CPUPerChunk:    120 * sim.Microsecond,
+		CPUBytesPerSec: 1600e6,
+		RespBytes:      160,
+	}
+}
+
+// ServerStats counts server-side work.
+type ServerStats struct {
+	Chunks    int64
+	Bytes     int64
+	Replies   int64
+	Requests  int64
+	MaxQueued int // high-water mark of the request backlog
+}
+
+// Server is one PVFS storage daemon: a host on the fabric, a CPU, a flow
+// layer serving at most FlowBufs requests concurrently, and a backend
+// (device, cache or null).
+type Server struct {
+	E    *sim.Engine
+	ID   int
+	Host *netsim.Host
+	P    ServerParams
+
+	// Dev is the backend device (used directly with SyncOn).
+	Dev storage.Device
+	// Cache is the write-back cache (used with SyncOff; nil otherwise).
+	Cache *storage.WriteCache
+
+	cpu        *sim.Line
+	freeFlows  int
+	reqQueue   []*srvReqState
+	nextFileID storage.FileID
+	lastApp    int // last application granted a flow (round-robin policy)
+
+	stats ServerStats
+}
+
+// NewServer builds a server bound to host with the given backend. cache may
+// be nil unless p.Sync is SyncOff.
+func NewServer(e *sim.Engine, id int, host *netsim.Host, dev storage.Device, cache *storage.WriteCache, p ServerParams) *Server {
+	if p.FlowBufs <= 0 {
+		p.FlowBufs = 1
+	}
+	if p.Sync == SyncOff && cache == nil {
+		panic("pfs: SyncOff requires a write cache")
+	}
+	return &Server{
+		E: e, ID: id, Host: host, P: p, Dev: dev, Cache: cache,
+		cpu:       &sim.Line{E: e, Rate: p.CPUBytesPerSec, PerOp: p.CPUPerChunk},
+		freeFlows: p.FlowBufs,
+	}
+}
+
+// Stats returns cumulative counters.
+func (s *Server) Stats() ServerStats { return s.stats }
+
+// FreeFlows returns the number of idle flow slots.
+func (s *Server) FreeFlows() int { return s.freeFlows }
+
+// QueuedRequests returns how many requests await a flow slot.
+func (s *Server) QueuedRequests() int { return len(s.reqQueue) }
+
+// newFileID allocates a server-local byte stream identifier.
+func (s *Server) newFileID() storage.FileID {
+	s.nextFileID++
+	return s.nextFileID
+}
+
+// onReadable is installed as the OnReadable callback of every connection
+// that dials this server. A request "arrives" when its first chunk is fully
+// buffered; until the request is granted a flow slot its chunks stay unread
+// in the socket, keeping the sender's window shut.
+func (s *Server) onReadable(c *netsim.Conn, m *netsim.Message) {
+	ck := m.Meta.(*chunkMsg)
+	st := ck.srvState
+	st.pending = append(st.pending, m)
+	if !st.arrived {
+		st.arrived = true
+		st.conn = c
+		s.stats.Requests++
+		s.reqQueue = append(s.reqQueue, st)
+		if len(s.reqQueue) > s.stats.MaxQueued {
+			s.stats.MaxQueued = len(s.reqQueue)
+		}
+	}
+	if st.active {
+		s.consume(st)
+		return
+	}
+	s.pump()
+}
+
+// pickRequest returns the index of the next request under the policy.
+//
+// FIFO orders by request *issue* time, not data arrival: PVFS learns about
+// a request from its small descriptor message, which reaches the server
+// long before the bulk data fights its way through a congested fabric.
+// All policies preserve per-connection message order within an application.
+func (s *Server) pickRequest() int {
+	switch s.P.Policy {
+	case ReadAppOrdered:
+		best := 0
+		for i := 1; i < len(s.reqQueue); i++ {
+			q, b := s.reqQueue[i], s.reqQueue[best]
+			if q.conn.App < b.conn.App || (q.conn.App == b.conn.App && q.issued < b.issued) {
+				best = i
+			}
+		}
+		return best
+	case ReadRoundRobin:
+		best := -1
+		for i := range s.reqQueue {
+			if s.reqQueue[i].conn.App == s.lastApp {
+				continue
+			}
+			if best < 0 || s.reqQueue[i].issued < s.reqQueue[best].issued {
+				best = i
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+		return s.oldest()
+	default:
+		return s.oldest() // FIFO by issue time
+	}
+}
+
+// oldest returns the index of the earliest-issued queued request.
+func (s *Server) oldest() int {
+	best := 0
+	for i := 1; i < len(s.reqQueue); i++ {
+		if s.reqQueue[i].issued < s.reqQueue[best].issued {
+			best = i
+		}
+	}
+	return best
+}
+
+// allowance returns the per-flow in-flight chunk budget under the shared
+// flow-buffer pool.
+func (s *Server) allowance() int {
+	depth := s.P.FlowDepth
+	if depth <= 0 {
+		depth = 1
+	}
+	active := s.P.FlowBufs - s.freeFlows
+	if active < 1 {
+		active = 1
+	}
+	if s.P.FlowPool > 0 {
+		if share := s.P.FlowPool / active; share < depth {
+			depth = share
+		}
+	}
+	if depth < 1 {
+		depth = 1
+	}
+	return depth
+}
+
+// pump grants free flow slots to queued requests.
+func (s *Server) pump() {
+	for s.freeFlows > 0 && len(s.reqQueue) > 0 {
+		i := s.pickRequest()
+		st := s.reqQueue[i]
+		copy(s.reqQueue[i:], s.reqQueue[i+1:])
+		s.reqQueue = s.reqQueue[:len(s.reqQueue)-1]
+		s.freeFlows--
+		st.active = true
+		s.lastApp = st.conn.App
+		s.consume(st)
+	}
+}
+
+// consume pulls buffered chunks of an active request out of its socket and
+// into the processing pipeline, keeping at most FlowDepth chunks in flight.
+// Reading reopens the TCP window, so the flow self-clocks: the socket
+// refills while earlier chunks are stored.
+func (s *Server) consume(st *srvReqState) {
+	depth := s.allowance()
+	if depth <= 0 {
+		depth = 1
+	}
+	for len(st.pending) > 0 && st.inflight < depth {
+		m := st.pending[0]
+		copy(st.pending, st.pending[1:])
+		st.pending = st.pending[:len(st.pending)-1]
+		ck := m.Meta.(*chunkMsg)
+		st.conn.ReadHead()
+		st.inflight++
+		s.stats.Chunks++
+		s.stats.Bytes += ck.size
+		chunk := ck
+		s.cpu.Send(chunk.size, func() { s.store(st.conn, chunk) })
+	}
+}
+
+// store hands the chunk to the backend according to the sync mode.
+func (s *Server) store(c *netsim.Conn, ck *chunkMsg) {
+	if ck.read {
+		// Read chunk: fetch from the device and ship the data back on the
+		// reply path; each chunk replies individually with its data.
+		done := func() {
+			s.stats.Replies++
+			c.Reply(ck.size, &replyMsg{req: ck.req})
+			s.readChunkDone(ck.srvState)
+		}
+		if s.P.Sync == NullAIO {
+			s.E.Schedule(0, done)
+			return
+		}
+		s.Dev.Submit(&storage.Request{
+			File: ck.fileID, Offset: ck.local, Size: ck.size,
+			Stream: storage.StreamID(c.App), Read: true, Done: done,
+		})
+		return
+	}
+	done := func() { s.chunkDone(c, ck) }
+	req := &storage.Request{
+		File:   ck.fileID,
+		Offset: ck.local,
+		Size:   ck.size,
+		Stream: storage.StreamID(c.App),
+		Done:   done,
+	}
+	switch s.P.Sync {
+	case SyncOn:
+		s.Dev.Submit(req)
+	case SyncOff:
+		s.Cache.Write(req)
+	case NullAIO:
+		s.E.Schedule(0, done)
+	}
+}
+
+// chunkDone accounts a stored write chunk; when the whole request's share
+// on this server is stored, it replies and frees the flow slot.
+func (s *Server) chunkDone(c *netsim.Conn, ck *chunkMsg) {
+	st := ck.srvState
+	st.remaining--
+	st.inflight--
+	if st.remaining == 0 {
+		s.stats.Replies++
+		c.Reply(s.P.RespBytes, &replyMsg{req: ck.req})
+		s.finishFlow(st)
+		return
+	}
+	s.consume(st)
+}
+
+// readChunkDone accounts a served read chunk and frees the flow at the end.
+func (s *Server) readChunkDone(st *srvReqState) {
+	st.remaining--
+	st.inflight--
+	if st.remaining == 0 {
+		s.finishFlow(st)
+		return
+	}
+	s.consume(st)
+}
+
+func (s *Server) finishFlow(st *srvReqState) {
+	st.active = false
+	s.freeFlows++
+	s.pump()
+}

@@ -1,0 +1,54 @@
+package pfs
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/sim"
+	"repro/internal/storage"
+)
+
+// chunkMsg is the wire metadata of one flow-protocol chunk of a write
+// request. The chunk's payload size is the Message size; the metadata rides
+// along for free (headers are negligible next to 64 KiB+ payloads).
+type chunkMsg struct {
+	req      *clientReq
+	srvState *srvReqState
+	fileID   storage.FileID
+	local    int64
+	size     int64
+	read     bool // read request descriptor instead of write payload
+}
+
+// srvReqState tracks one client request's share on one server. The client
+// creates it with the chunk count; the server fills in its scheduling state
+// (the simulation is single-address-space, so the struct plays both the
+// wire-visible request descriptor and the server's flow bookkeeping).
+type srvReqState struct {
+	remaining int      // chunks not yet stored (write) or returned (read)
+	issued    sim.Time // when the client issued the request
+
+	// Server-side flow scheduling state.
+	conn     *netsim.Conn
+	arrived  bool
+	active   bool
+	inflight int               // chunks being processed/stored right now
+	pending  []*netsim.Message // readable chunks not yet pulled from the socket
+}
+
+// replyMsg is the server's completion notification for one request (write)
+// or one chunk of data (read).
+type replyMsg struct {
+	req *clientReq
+}
+
+// clientReq is the client-side handle of an in-flight request.
+type clientReq struct {
+	remaining int // replies still expected
+	onDone    func()
+}
+
+func (r *clientReq) replied() {
+	r.remaining--
+	if r.remaining == 0 && r.onDone != nil {
+		r.onDone()
+	}
+}

@@ -1,0 +1,99 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func sample() *Table {
+	t := New("demo", "name", "value", "ratio")
+	t.Add("alpha", 42, 2.5)
+	t.Add("beta", int64(7), 0.125)
+	t.Add("gamma", "text", 3.0)
+	return t
+}
+
+func TestWriteTSV(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	if lines[0] != "# demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if lines[1] != "name\tvalue\tratio" {
+		t.Fatalf("header = %q", lines[1])
+	}
+	if lines[2] != "alpha\t42\t2.5" {
+		t.Fatalf("row = %q", lines[2])
+	}
+}
+
+func TestWriteASCIIAligned(t *testing.T) {
+	var b strings.Builder
+	if err := sample().WriteASCII(&b); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(b.String()), "\n")
+	// Title, header, rule, 3 rows.
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "== demo") {
+		t.Fatalf("title = %q", lines[0])
+	}
+	// The rule row must be dashes and spaces only.
+	for _, r := range lines[2] {
+		if r != '-' && r != ' ' {
+			t.Fatalf("rule line contains %q", r)
+		}
+	}
+	// All rows begin at column 0 with their first cell.
+	if !strings.HasPrefix(lines[3], "alpha") || !strings.HasPrefix(lines[5], "gamma") {
+		t.Fatalf("rows misordered: %v", lines[3:])
+	}
+}
+
+func TestFloatTrimming(t *testing.T) {
+	cases := map[float64]string{
+		2.5:    "2.5",
+		3.0:    "3",
+		0.125:  "0.125",
+		0.1259: "0.126",
+		0:      "0",
+	}
+	for in, want := range cases {
+		if got := trimFloat(in); got != want {
+			t.Errorf("trimFloat(%v) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tab := New("", "a", "b")
+	var b strings.Builder
+	if err := tab.WriteTSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(b.String(), "#") {
+		t.Fatal("untitled table printed a title line")
+	}
+	var b2 strings.Builder
+	if err := tab.WriteASCII(&b2); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b2.String(), "a") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestSecondsHelper(t *testing.T) {
+	if Seconds(1.50) != "1.5" {
+		t.Fatalf("Seconds = %q", Seconds(1.50))
+	}
+}

@@ -1,0 +1,132 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// event is a scheduled callback. Events with equal times execute in the order
+// they were scheduled (seq is a monotonically increasing tiebreaker), which
+// keeps simulations deterministic.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// eventHeap is a min-heap ordered by (at, seq).
+type eventHeap []event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = event{}
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event simulation executor. The zero value is not
+// usable; create engines with NewEngine.
+//
+// All simulation code — event callbacks and Proc bodies — runs under the
+// engine's handoff discipline, one piece at a time, so it may freely mutate
+// shared simulation state without locks.
+type Engine struct {
+	now     Time
+	events  eventHeap
+	seq     uint64
+	yield   chan struct{} // procs hand control back to the loop on this
+	current *Proc         // proc currently holding control, if any
+
+	executed uint64 // events executed so far
+	spawned  int    // procs ever spawned
+	finished int    // procs that ran to completion
+	parked   int    // procs currently blocked awaiting a wake-up
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine {
+	return &Engine{yield: make(chan struct{})}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Executed returns the number of events executed so far (a cheap measure of
+// simulation work, used by benchmarks).
+func (e *Engine) Executed() uint64 { return e.executed }
+
+// Pending returns the number of events waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Parked returns the number of processes currently blocked. A simulation
+// that drains its event queue while processes remain parked has deadlocked;
+// tests assert this is zero after Run.
+func (e *Engine) Parked() int { return e.parked }
+
+// ProcsFinished returns how many spawned processes ran to completion.
+func (e *Engine) ProcsFinished() int { return e.finished }
+
+// ProcsSpawned returns how many processes were ever spawned.
+func (e *Engine) ProcsSpawned() int { return e.spawned }
+
+// Schedule runs fn after delay d (d may be zero; negative panics).
+func (e *Engine) Schedule(d Time, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.At(e.now+d, fn)
+}
+
+// At runs fn at absolute time t, which must not be in the past.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+}
+
+// Run executes events until the queue is empty and returns the final time.
+func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
+
+// RunUntil executes events with at <= deadline and returns the current time
+// afterwards; later events remain queued. The clock never advances past the
+// time of the last executed event.
+func (e *Engine) RunUntil(deadline Time) Time {
+	for len(e.events) > 0 {
+		if e.events[0].at > deadline {
+			break
+		}
+		ev := heap.Pop(&e.events).(event)
+		if ev.at < e.now {
+			panic("sim: time went backwards")
+		}
+		e.now = ev.at
+		e.executed++
+		ev.fn()
+	}
+	return e.now
+}
+
+// Step executes exactly one event if available and reports whether it did.
+func (e *Engine) Step() bool {
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.events).(event)
+	e.now = ev.at
+	e.executed++
+	ev.fn()
+	return true
+}

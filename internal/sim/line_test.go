@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestLineSerializes(t *testing.T) {
+	e := NewEngine()
+	l := NewLine(e, 100) // 100 B/s: 1 byte = 10ms
+	var deliveries []Time
+	// Two 50-byte transfers submitted at t=0 must finish at 0.5s and 1.0s.
+	l.Send(50, func() { deliveries = append(deliveries, e.Now()) })
+	l.Send(50, func() { deliveries = append(deliveries, e.Now()) })
+	e.Run()
+	if len(deliveries) != 2 {
+		t.Fatalf("deliveries = %v", deliveries)
+	}
+	if deliveries[0] != 500*Millisecond || deliveries[1] != Second {
+		t.Fatalf("deliveries = %v, want [500ms 1s]", deliveries)
+	}
+}
+
+func TestLineLatencyDoesNotOccupy(t *testing.T) {
+	e := NewEngine()
+	l := NewLine(e, 100)
+	l.Latency = Second
+	var first, second Time
+	l.Send(50, func() { first = e.Now() })
+	l.Send(50, func() { second = e.Now() })
+	e.Run()
+	// Serialization: 0.5s and 1.0s; latency shifts both by 1s but they can
+	// overlap in flight.
+	if first != 1500*Millisecond || second != 2*Second {
+		t.Fatalf("first=%v second=%v", first, second)
+	}
+}
+
+func TestLinePerOpOverhead(t *testing.T) {
+	e := NewEngine()
+	l := NewLine(e, 0) // infinite rate
+	l.PerOp = 10 * Millisecond
+	var last Time
+	for i := 0; i < 5; i++ {
+		l.Send(1<<20, func() { last = e.Now() })
+	}
+	e.Run()
+	if last != 50*Millisecond {
+		t.Fatalf("last = %v, want 50ms", last)
+	}
+}
+
+func TestLineIdleGap(t *testing.T) {
+	e := NewEngine()
+	l := NewLine(e, 1000)
+	var times []Time
+	e.Schedule(0, func() { l.Send(500, func() { times = append(times, e.Now()) }) })
+	// Second transfer submitted long after the first completed: no queueing.
+	e.Schedule(10*Second, func() { l.Send(500, func() { times = append(times, e.Now()) }) })
+	e.Run()
+	if times[0] != 500*Millisecond || times[1] != 10*Second+500*Millisecond {
+		t.Fatalf("times = %v", times)
+	}
+	if l.Busy() != Second {
+		t.Fatalf("busy = %v, want 1s", l.Busy())
+	}
+}
+
+func TestLineStats(t *testing.T) {
+	e := NewEngine()
+	l := NewLine(e, 100)
+	l.Send(25, nil) // nil callback: occupies the line, schedules nothing
+	l.Send(75, func() {})
+	e.Run()
+	if l.Bytes() != 100 || l.Ops() != 2 {
+		t.Fatalf("bytes=%d ops=%d", l.Bytes(), l.Ops())
+	}
+	if l.Utilization() != 1.0 {
+		t.Fatalf("utilization = %v, want 1.0", l.Utilization())
+	}
+	if l.QueueDelay() != 0 {
+		t.Fatalf("queue delay = %v, want 0 at idle", l.QueueDelay())
+	}
+}
+
+// Property: the line conserves work — total delivery time of the last of n
+// back-to-back transfers equals sum of service times (+ latency).
+func TestPropertyLineWorkConservation(t *testing.T) {
+	f := func(sizes []uint16) bool {
+		e := NewEngine()
+		l := NewLine(e, 1000)
+		l.PerOp = Millisecond
+		var want Time
+		var last Time
+		for _, s := range sizes {
+			n := int64(s)
+			want += Millisecond + TransferTime(n, 1000)
+			l.Send(n, func() { last = e.Now() })
+		}
+		e.Run()
+		if len(sizes) == 0 {
+			return last == 0
+		}
+		return last == want && l.Busy() == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTransferTime(t *testing.T) {
+	if got := TransferTime(1000, 1000); got != Second {
+		t.Fatalf("1000B at 1000B/s = %v, want 1s", got)
+	}
+	if got := TransferTime(0, 1000); got != 0 {
+		t.Fatalf("0 bytes = %v, want 0", got)
+	}
+	if got := TransferTime(1000, 0); got != 0 {
+		t.Fatalf("infinite rate = %v, want 0", got)
+	}
+}
+
+func TestRateHelper(t *testing.T) {
+	if got := Rate(1000, Second); got != 1000 {
+		t.Fatalf("Rate = %v, want 1000", got)
+	}
+	if got := Rate(1000, 0); got != 0 {
+		t.Fatalf("Rate with zero time = %v, want 0", got)
+	}
+}

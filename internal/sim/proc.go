@@ -1,0 +1,223 @@
+package sim
+
+// Proc is a coroutine-style simulated process. A Proc's body is an ordinary
+// Go function running on its own goroutine, but control is handed between
+// the engine's event loop and at most one Proc at a time, so Proc bodies may
+// read and write shared simulation state without synchronization and the
+// simulation stays deterministic.
+//
+// Procs block with Sleep, Await (Signal), Gate.Wait and Semaphore.Acquire.
+// All blocking operations must be called from the Proc's own body.
+type Proc struct {
+	eng    *Engine
+	name   string
+	resume chan struct{}
+	dead   bool
+}
+
+// Spawn creates a process and schedules it to start at the current time.
+// The body runs with coroutine semantics: it executes exclusively until it
+// blocks or returns.
+func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
+	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
+	e.spawned++
+	e.Schedule(0, func() {
+		go func() {
+			<-p.resume // wait for first handoff
+			body(p)
+			p.dead = true
+			e.finished++
+			e.yield <- struct{}{} // final handoff back to the loop
+		}()
+		e.handoff(p)
+	})
+	return p
+}
+
+// SpawnAt is Spawn with a start delay.
+func (e *Engine) SpawnAt(d Time, name string, body func(*Proc)) {
+	e.Schedule(d, func() { e.Spawn(name, body) })
+}
+
+// handoff gives control to p and waits until p parks or exits.
+// It must only be called from the engine's execution context (inside an
+// event callback); that invariant is what serializes the simulation.
+func (e *Engine) handoff(p *Proc) {
+	prev := e.current
+	e.current = p
+	p.resume <- struct{}{}
+	<-e.yield
+	e.current = prev
+}
+
+// park suspends the calling proc until the next handoff to it.
+func (p *Proc) park() {
+	p.eng.parked++
+	p.eng.yield <- struct{}{}
+	<-p.resume
+	p.eng.parked--
+}
+
+// wake schedules a handoff to p at the current time (FIFO among equal-time
+// events). It is the only way parked procs resume.
+func (p *Proc) wake() {
+	p.eng.Schedule(0, func() { p.eng.handoff(p) })
+}
+
+// Name returns the process name given at Spawn.
+func (p *Proc) Name() string { return p.name }
+
+// Engine returns the engine this process runs on.
+func (p *Proc) Engine() *Engine { return p.eng }
+
+// Now returns the current simulated time.
+func (p *Proc) Now() Time { return p.eng.now }
+
+// Sleep suspends the process for d simulated time.
+func (p *Proc) Sleep(d Time) {
+	if d <= 0 {
+		// Even a zero-length sleep yields, preserving FIFO fairness among
+		// same-time events.
+		d = 0
+	}
+	p.eng.Schedule(d, func() { p.eng.handoff(p) })
+	p.park()
+}
+
+// Yield gives other same-time events a chance to run before continuing.
+func (p *Proc) Yield() { p.Sleep(0) }
+
+// A Signal is a one-shot broadcast: procs Await it, and once Fired all
+// current and future waiters proceed immediately. The zero value is usable.
+type Signal struct {
+	fired   bool
+	waiters []*Proc
+	fns     []func()
+}
+
+// Fired reports whether the signal has fired.
+func (s *Signal) Fired() bool { return s.fired }
+
+// Fire releases all waiters. Waiters resume as separate events at the
+// current time, in Await order. Firing twice is a no-op.
+func (s *Signal) Fire(e *Engine) {
+	if s.fired {
+		return
+	}
+	s.fired = true
+	for _, p := range s.waiters {
+		p.wake()
+	}
+	s.waiters = nil
+	for _, fn := range s.fns {
+		e.Schedule(0, fn)
+	}
+	s.fns = nil
+}
+
+// Await blocks the proc until the signal fires (returns immediately if it
+// already has).
+func (p *Proc) Await(s *Signal) {
+	if s.fired {
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+}
+
+// OnFire registers a callback to run (as an event) when the signal fires.
+// If the signal already fired, fn is scheduled immediately.
+func (s *Signal) OnFire(e *Engine, fn func()) {
+	if s.fired {
+		e.Schedule(0, fn)
+		return
+	}
+	s.fns = append(s.fns, fn)
+}
+
+// A Gate is a countdown latch: it opens when its count reaches zero.
+// Use Add to raise the count and Done to lower it.
+type Gate struct {
+	n      int
+	opened Signal
+}
+
+// NewGate returns a gate that opens after n calls to Done.
+func NewGate(n int) *Gate {
+	g := &Gate{n: n}
+	return g
+}
+
+// Add raises the count by delta. Adding to an already-open gate panics.
+func (g *Gate) Add(delta int) {
+	if g.opened.fired {
+		panic("sim: Add on opened Gate")
+	}
+	g.n += delta
+}
+
+// Done lowers the count; when it reaches zero the gate opens.
+func (g *Gate) Done(e *Engine) {
+	g.n--
+	if g.n < 0 {
+		panic("sim: Gate count below zero")
+	}
+	if g.n == 0 {
+		g.opened.Fire(e)
+	}
+}
+
+// Wait blocks until the gate opens.
+func (g *Gate) Wait(p *Proc) { p.Await(&g.opened) }
+
+// Opened reports whether the gate has opened.
+func (g *Gate) Opened() bool { return g.opened.fired }
+
+// A Semaphore holds counted tokens with FIFO waiters. It is the standard
+// bound on in-flight operations (e.g. per-process outstanding I/O requests).
+type Semaphore struct {
+	avail   int
+	waiters []*Proc
+}
+
+// NewSemaphore returns a semaphore with n available tokens.
+func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
+
+// Acquire takes a token, blocking FIFO if none is available.
+func (s *Semaphore) Acquire(p *Proc) {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return
+	}
+	s.waiters = append(s.waiters, p)
+	p.park()
+	// The token was passed to us directly by Release; nothing to decrement.
+}
+
+// TryAcquire takes a token without blocking and reports success.
+func (s *Semaphore) TryAcquire() bool {
+	if s.avail > 0 && len(s.waiters) == 0 {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// Release returns a token, waking the oldest waiter if any. The token passes
+// directly to the waiter (no barging).
+func (s *Semaphore) Release() {
+	if len(s.waiters) > 0 {
+		p := s.waiters[0]
+		copy(s.waiters, s.waiters[1:])
+		s.waiters = s.waiters[:len(s.waiters)-1]
+		p.wake()
+		return
+	}
+	s.avail++
+}
+
+// Available returns the number of free tokens.
+func (s *Semaphore) Available() int { return s.avail }
+
+// Waiting returns the number of blocked acquirers.
+func (s *Semaphore) Waiting() int { return len(s.waiters) }

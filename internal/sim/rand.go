@@ -1,0 +1,85 @@
+package sim
+
+import "math"
+
+// Rand is a small, fast, deterministic pseudo-random generator (splitmix64).
+// It is not cryptographically secure; it exists so simulations produce
+// identical results on every platform for a given seed.
+type Rand struct{ state uint64 }
+
+// NewRand returns a generator seeded with seed.
+func NewRand(seed uint64) *Rand { return &Rand{state: seed} }
+
+// Uint64 returns the next 64 random bits.
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9E3779B97F4A7C15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform value in [0, 1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Int63n returns a uniform value in [0, n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("sim: Int63n with non-positive n")
+	}
+	return int64(r.Uint64() % uint64(n))
+}
+
+// ExpFloat64 returns an exponentially distributed value with mean 1.
+func (r *Rand) ExpFloat64() float64 {
+	u := r.Float64()
+	if u >= 1 {
+		u = math.Nextafter(1, 0)
+	}
+	return -math.Log(1 - u)
+}
+
+// Jitter returns d scaled by a uniform factor in [1-frac, 1+frac].
+// Used to break pathological synchronization without losing determinism.
+func (r *Rand) Jitter(d Time, frac float64) Time {
+	if frac <= 0 {
+		return d
+	}
+	f := 1 + frac*(2*r.Float64()-1)
+	return Time(float64(d) * f)
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.ShuffleInts(p)
+	return p
+}
+
+// ShuffleInts permutes s in place (Fisher-Yates).
+func (r *Rand) ShuffleInts(s []int) {
+	for i := len(s) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		s[i], s[j] = s[j], s[i]
+	}
+}
+
+// Fork derives an independent generator; streams from parent and child do
+// not overlap in practice. Useful for giving each simulated entity its own
+// stream while keeping global determinism.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64() ^ 0xD1B54A32D192ED03)
+}

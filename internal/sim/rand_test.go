@@ -1,0 +1,178 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed produced different streams")
+		}
+	}
+	c := NewRand(8)
+	same := true
+	a2 := NewRand(7)
+	for i := 0; i < 10; i++ {
+		if a2.Uint64() != c.Uint64() {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical streams")
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+		sum += f
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestRandIntnRange(t *testing.T) {
+	r := NewRand(2)
+	counts := make([]int, 10)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(10)
+		if v < 0 || v >= 10 {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+		counts[v]++
+	}
+	for i, c := range counts {
+		if c < 700 || c > 1300 {
+			t.Fatalf("bucket %d grossly unbalanced: %d", i, c)
+		}
+	}
+}
+
+func TestRandIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	NewRand(1).Intn(0)
+}
+
+func TestRandExpMean(t *testing.T) {
+	r := NewRand(3)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 {
+			t.Fatalf("negative exponential sample %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; math.Abs(mean-1) > 0.02 {
+		t.Fatalf("exp mean = %v, want ~1", mean)
+	}
+}
+
+func TestRandPerm(t *testing.T) {
+	r := NewRand(4)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("invalid permutation: %v", p)
+		}
+		seen[v] = true
+	}
+}
+
+func TestRandJitter(t *testing.T) {
+	r := NewRand(5)
+	base := Second
+	for i := 0; i < 1000; i++ {
+		j := r.Jitter(base, 0.1)
+		if j < 900*Millisecond || j > 1100*Millisecond {
+			t.Fatalf("jitter out of band: %v", j)
+		}
+	}
+	if r.Jitter(base, 0) != base {
+		t.Fatal("zero-frac jitter should be identity")
+	}
+}
+
+func TestRandFork(t *testing.T) {
+	r := NewRand(6)
+	f := r.Fork()
+	// Parent and fork must diverge.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if r.Uint64() == f.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("fork correlates with parent: %d/100 equal", same)
+	}
+}
+
+// Property: Int63n stays in range for arbitrary positive bounds.
+func TestPropertyInt63nInRange(t *testing.T) {
+	r := NewRand(9)
+	f := func(bound uint32) bool {
+		n := int64(bound%1000000) + 1
+		v := r.Int63n(n)
+		return v >= 0 && v < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatBytes(t *testing.T) {
+	cases := []struct {
+		n    int64
+		want string
+	}{
+		{512, "512B"},
+		{2048, "2.00KiB"},
+		{64 << 20, "64.00MiB"},
+		{3 << 30, "3.00GiB"},
+	}
+	for _, c := range cases {
+		if got := FormatBytes(c.n); got != c.want {
+			t.Errorf("FormatBytes(%d) = %q, want %q", c.n, got, c.want)
+		}
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	if Seconds(1.5) != 1500*Millisecond {
+		t.Fatal("Seconds")
+	}
+	if Millis(2) != 2*Millisecond {
+		t.Fatal("Millis")
+	}
+	if Micros(3) != 3*Microsecond {
+		t.Fatal("Micros")
+	}
+	if (2 * Second).Seconds() != 2.0 {
+		t.Fatal("Time.Seconds")
+	}
+	if (1500 * Microsecond).Millis() != 1.5 {
+		t.Fatal("Time.Millis")
+	}
+	if (Second).String() != "1s" {
+		t.Fatalf("String = %q", Second.String())
+	}
+}
