@@ -11,7 +11,12 @@ package repro
 //	alone_s   single-application baseline, seconds of simulated time
 //
 // Absolute ns/op is simulator wall-clock, useful only to track the
-// simulator's own performance.
+// simulator's own performance. The δ-graph benches run the parallel
+// experiment paths (paper.Pool and core.Runner at GOMAXPROCS workers) so
+// their numbers track the speed a real campaign sees; metric values are
+// identical to the serial path by the runner's determinism guarantee.
+// Table1, Figure 11 and the simulator microbenches are single simulations
+// and stay serial.
 
 import (
 	"testing"
@@ -27,6 +32,10 @@ import (
 )
 
 const benchScale = 8
+
+// benchPool fans each ablation's independent simulations out over all cores,
+// like paper.Pool does for the figure benches.
+var benchPool core.Runner
 
 func reportSeries(b *testing.B, series []paper.Series) {
 	b.Helper()
@@ -200,7 +209,7 @@ func BenchmarkAblationSeekCost(b *testing.B) {
 			cfg := paper.Config(benchScale)
 			cfg.HDD.Seek = seek
 			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
-			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+			g := benchPool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
 			return g.At(0).Elapsed[0].Seconds()
 		}
 		b.ReportMetric(run(6500*sim.Microsecond), "with_seeks_s")
@@ -216,7 +225,7 @@ func BenchmarkAblationInfinitePort(b *testing.B) {
 			cfg := paper.Config(benchScale)
 			cfg.Net.PortBuf = portBuf
 			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
-			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+			g := benchPool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
 			return g.Unfairness(), g.At(0).Diag.PortDrops
 		}
 		u1, d1 := run(1 << 20)
@@ -236,7 +245,7 @@ func BenchmarkAblationPolicy(b *testing.B) {
 			cfg := paper.Config(benchScale)
 			cfg.Srv.Policy = pol
 			apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
-			g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+			g := benchPool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
 			return g.Unfairness()
 		}
 		b.ReportMetric(run(pfs.ReadFIFO), "unfair_fifo")
@@ -250,7 +259,7 @@ func BenchmarkReadInterference(b *testing.B) {
 		cfg := paper.Config(benchScale)
 		wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: paper.BlockBytes, Read: true}
 		apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, wl)
-		g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+		g := benchPool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
 		b.ReportMetric(g.PeakIF(), "IF")
 		b.ReportMetric(g.Alone[0].Seconds(), "alone_s")
 	}

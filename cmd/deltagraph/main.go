@@ -5,12 +5,16 @@
 // Example:
 //
 //	deltagraph -span 40 -points 9 -backend hdd -sync on -nodes 8 -servers 2
+//
+// Every point of the graph is an independent simulation; -j bounds how many
+// run concurrently (default GOMAXPROCS). Output is identical at any -j.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/cluster"
@@ -32,6 +36,7 @@ func main() {
 		span    = flag.Float64("span", 40, "delta range: graph covers ±span seconds")
 		points  = flag.Int("points", 9, "number of delta points (odd, includes 0)")
 		tsv     = flag.Bool("tsv", false, "TSV output instead of table+plot")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	)
 	flag.Parse()
 
@@ -70,7 +75,8 @@ func main() {
 		deltas = append(deltas, sim.Seconds(frac**span))
 	}
 
-	g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas})
+	pool := core.Runner{Parallelism: *jobs}
+	g := pool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas})
 
 	t := report.New(
 		fmt.Sprintf("delta-graph: %d procs/app, %s, %s (alone A=%.1fs B=%.1fs)",

@@ -12,7 +12,9 @@
 // fig7, fig8, fig9, fig10, fig11, fig12, ablation-policy, ablation-read.
 //
 // -scale divides node/server counts (processes per server stay constant);
-// -coarse uses 5-point δ grids instead of the paper's 9-point grids.
+// -coarse uses 5-point δ grids instead of the paper's 9-point grids;
+// -j bounds the number of concurrent simulations (default GOMAXPROCS,
+// -j 1 forces the serial reference path; results are identical either way).
 package main
 
 import (
@@ -20,6 +22,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -36,12 +39,14 @@ func main() {
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
+	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	flag.Parse()
 
 	kind := paper.GridFull
 	if *coarse {
 		kind = paper.GridCoarse
 	}
+	paper.Pool = core.Runner{Parallelism: *jobs}
 	w := os.Stdout
 	run := newRunner(w, *format, *scale, kind)
 
@@ -191,16 +196,20 @@ func (r *runner) one(id string) error {
 func (r *runner) ablationPolicy() *report.Table {
 	t := report.New("Ablation: server scheduling policy (contig, HDD sync ON, delta=+10s)",
 		"policy", "A_s", "B_s", "unfairness")
-	for _, pol := range []struct {
+	policies := []struct {
 		name string
 		p    pfs.ReadPolicy
-	}{{"fifo (PVFS)", pfs.ReadFIFO}, {"app-ordered", pfs.ReadAppOrdered}, {"round-robin", pfs.ReadRoundRobin}} {
+	}{{"fifo (PVFS)", pfs.ReadFIFO}, {"app-ordered", pfs.ReadAppOrdered}, {"round-robin", pfs.ReadRoundRobin}}
+	var specs []core.DeltaSpec
+	for _, pol := range policies {
 		cfg := paper.Config(r.scale)
 		cfg.Srv.Policy = pol.p
 		apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
-		g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+		specs = append(specs, core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas(10)})
+	}
+	for i, g := range paper.Pool.RunDeltas(specs) {
 		p := g.At(core.Deltas(10)[2])
-		t.Add(pol.name, p.Elapsed[0].Seconds(), p.Elapsed[1].Seconds(), g.Unfairness())
+		t.Add(policies[i].name, p.Elapsed[0].Seconds(), p.Elapsed[1].Seconds(), g.Unfairness())
 	}
 	return t
 }
@@ -210,14 +219,18 @@ func (r *runner) ablationPolicy() *report.Table {
 func (r *runner) ablationRead() *report.Table {
 	t := report.New("Extension: read/read interference (contiguous reads, delta=0)",
 		"backend", "alone_s", "contended_s", "IF")
-	for _, b := range []cluster.BackendKind{cluster.HDD, cluster.RAM} {
+	backends := []cluster.BackendKind{cluster.HDD, cluster.RAM}
+	var specs []core.DeltaSpec
+	for _, b := range backends {
 		cfg := paper.Config(r.scale)
 		cfg.Backend = b
 		wl := workload.Spec{Pattern: workload.Contiguous, BlockBytes: paper.BlockBytes, Read: true}
 		apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, wl)
-		g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+		specs = append(specs, core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
+	}
+	for i, g := range paper.Pool.RunDeltas(specs) {
 		p := g.At(0)
-		t.Add(b.String(), g.Alone[0].Seconds(), p.Elapsed[0].Seconds(), p.IF[0])
+		t.Add(backends[i].String(), g.Alone[0].Seconds(), p.Elapsed[0].Seconds(), p.IF[0])
 	}
 	return t
 }

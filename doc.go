@@ -10,6 +10,13 @@
 // DESIGN.md for the system inventory and EXPERIMENTS.md for paper-versus-
 // measured results.
 //
+// δ-graph campaigns are embarrassingly parallel — every alone baseline,
+// δ point and figure series is an independent simulation on its own
+// platform — and run on a bounded worker pool (core.Runner, paper.Pool,
+// the -j flag of cmd/paperrepro and cmd/deltagraph). Each individual
+// simulation is single-threaded and deterministic, so results are
+// byte-identical at any parallelism level.
+//
 // The benchmark suite in bench_test.go regenerates scaled versions of every
 // experiment; the cmd/paperrepro tool runs them at paper size.
 package repro

@@ -32,14 +32,19 @@ type DeltaGraph struct {
 	Points []DeltaPoint
 }
 
-// RunDelta executes the alone baselines and every δ point.
+// RunDelta executes the alone baselines and every δ point serially, in
+// submission order. It is the reference implementation; Runner.RunDelta
+// executes the same independent simulations on a worker pool and produces
+// an identical DeltaGraph.
 func RunDelta(spec DeltaSpec) *DeltaGraph {
 	g := &DeltaGraph{}
 	for i := 0; i < 2; i++ {
 		g.Alone[i] = runAlone(spec, i)
 	}
 	for _, d := range spec.Deltas {
-		g.Points = append(g.Points, runPoint(spec, d, g.Alone))
+		pt := runPoint(spec, d)
+		pt.applyAlone(g.Alone)
+		g.Points = append(g.Points, pt)
 	}
 	return g
 }
@@ -54,7 +59,10 @@ func runAlone(spec DeltaSpec, i int) sim.Time {
 }
 
 // runPoint measures both applications with B delayed by d relative to A.
-func runPoint(spec DeltaSpec, d sim.Time, alone [2]sim.Time) DeltaPoint {
+// IF is left zero: it is the one quantity that needs the alone baselines,
+// so applyAlone fills it in once those are known — which lets a Runner
+// execute points and baselines concurrently.
+func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
 	a, b := spec.Apps[0], spec.Apps[1]
 	if d >= 0 {
 		a.Start, b.Start = 0, d
@@ -67,11 +75,17 @@ func runPoint(spec DeltaSpec, d sim.Time, alone [2]sim.Time) DeltaPoint {
 	for i := 0; i < 2; i++ {
 		pt.Elapsed[i] = res.Apps[i].Elapsed
 		pt.Throughput[i] = res.Apps[i].Throughput
-		if alone[i] > 0 {
-			pt.IF[i] = float64(pt.Elapsed[i]) / float64(alone[i])
-		}
 	}
 	return pt
+}
+
+// applyAlone derives the interference factors from the alone baselines.
+func (p *DeltaPoint) applyAlone(alone [2]sim.Time) {
+	for i := 0; i < 2; i++ {
+		if alone[i] > 0 {
+			p.IF[i] = float64(p.Elapsed[i]) / float64(alone[i])
+		}
+	}
 }
 
 // PeakIF returns the largest interference factor either application sees.

@@ -7,6 +7,12 @@
 // applications' bursts, each point an independent experiment), interference
 // and fairness metrics, the local disk-level interference experiment of
 // Table I, and tcpdump-like probes for TCP window and progress traces.
+//
+// Every simulation is deterministic and self-contained: Prepare builds a
+// fresh cluster.Platform with its own event engine, so distinct runs share
+// no state. Runner exploits that to execute a δ-graph's baselines and
+// points — or many δ-graphs at once — on a bounded worker pool while
+// producing byte-identical results to the serial RunDelta path.
 package core
 
 import (

@@ -8,6 +8,14 @@
 // paper at any scale. What shrinks is the fan-in (connections per server),
 // so incast effects soften as the scale divisor grows — shape, not absolute
 // onset, is preserved.
+//
+// Concurrency: every figure driver fans its work out on Pool, a
+// core.Runner shared by the whole package. A figure's series, their alone
+// baselines and their δ points are all independent simulations (each on a
+// fresh platform with its own engine), so they execute as one flattened
+// task set on the pool's workers. Results are deterministic and identical
+// to the serial path at any Pool.Parallelism — see core.Runner for the
+// guarantee.
 package paper
 
 import (
@@ -61,15 +69,43 @@ type Series struct {
 	Graph *core.DeltaGraph
 }
 
+// Pool is the worker pool every figure driver shares. Each figure builds
+// all of its series' δ-graph specs up front and hands them to the pool as
+// one flattened task set (every alone baseline and every δ point of every
+// series is an independent simulation), so a figure with only two series
+// still keeps all workers busy. The zero value uses GOMAXPROCS workers;
+// set Parallelism to 1 to force the serial reference path. Results are
+// identical at any setting — see core.Runner.
+var Pool core.Runner
+
+// seriesSpec pairs a curve label with a fully-built δ-graph spec.
+type seriesSpec struct {
+	Label string
+	Spec  core.DeltaSpec
+}
+
 // twoApps builds the canonical A/B pair for cfg.
 func twoApps(cfg cluster.Config, wl workload.Spec) [2]core.AppSpec {
 	return core.TwoAppSpecs(cfg, ProcsPerApp(cfg), cfg.CoresPerNode, wl)
 }
 
-// runSeries runs one δ-graph.
-func runSeries(label string, cfg cluster.Config, apps [2]core.AppSpec, deltas []sim.Time) Series {
-	g := core.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas})
-	return Series{Label: label, Graph: g}
+// series builds one labeled spec for a figure's task set.
+func series(label string, cfg cluster.Config, apps [2]core.AppSpec, deltas []sim.Time) seriesSpec {
+	return seriesSpec{Label: label, Spec: core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas}}
+}
+
+// runAll executes every series on Pool, preserving series order.
+func runAll(specs []seriesSpec) []Series {
+	ds := make([]core.DeltaSpec, len(specs))
+	for i := range specs {
+		ds[i] = specs[i].Spec
+	}
+	graphs := Pool.RunDeltas(ds)
+	out := make([]Series, len(specs))
+	for i := range specs {
+		out[i] = Series{Label: specs[i].Label, Graph: graphs[i]}
+	}
+	return out
 }
 
 // GridKind selects δ-grid density.
@@ -110,7 +146,7 @@ func Fig2(div int, syncOn bool, kind GridKind) []Series {
 		backends = append(backends, cluster.Null)
 		span = 10.0
 	}
-	var out []Series
+	var specs []seriesSpec
 	for _, b := range backends {
 		cfg := Config(div)
 		cfg.Backend = b
@@ -121,9 +157,9 @@ func Fig2(div int, syncOn bool, kind GridKind) []Series {
 				cfg.Sync = pfs.NullAIO
 			}
 		}
-		out = append(out, runSeries(b.String(), cfg, twoApps(cfg, ContigSpec()), grid(kind, span)))
+		specs = append(specs, series(b.String(), cfg, twoApps(cfg, ContigSpec()), grid(kind, span)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- Figure 3: backend device, strided pattern ---------------------------
@@ -131,7 +167,7 @@ func Fig2(div int, syncOn bool, kind GridKind) []Series {
 // Fig3 runs the strided experiment per backend. HDD with sync on lives on a
 // much longer δ span (the paper plots it separately for that reason).
 func Fig3(div int, syncOn bool, kind GridKind) []Series {
-	var out []Series
+	var specs []seriesSpec
 	for _, b := range []cluster.BackendKind{cluster.HDD, cluster.SSD, cluster.RAM} {
 		cfg := Config(div)
 		cfg.Backend = b
@@ -144,9 +180,9 @@ func Fig3(div int, syncOn bool, kind GridKind) []Series {
 			cfg.Sync = pfs.SyncOff
 			span = 60.0
 		}
-		out = append(out, runSeries(b.String(), cfg, twoApps(cfg, StridedSpec(256<<10)), grid(kind, span)))
+		specs = append(specs, series(b.String(), cfg, twoApps(cfg, StridedSpec(256<<10)), grid(kind, span)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- Figure 4: network interface (writers per node) ----------------------
@@ -154,18 +190,18 @@ func Fig3(div int, syncOn bool, kind GridKind) []Series {
 // Fig4 compares all cores writing (16 clients/node, 64 MB each) against one
 // core per node writing the same node-total (16 x 64 MB).
 func Fig4(div int, kind GridKind) []Series {
-	var out []Series
+	var specs []seriesSpec
 	// 16 clients per node.
 	cfg := Config(div)
-	out = append(out, runSeries("16 clients per node", cfg,
+	specs = append(specs, series("16 clients per node", cfg,
 		twoApps(cfg, ContigSpec()), grid(kind, 60)))
 	// 1 client per node writing CoresPerNode*64MB.
 	cfg1 := Config(div)
 	wl := ContigSpec()
 	wl.BlockBytes = BlockBytes * int64(cfg1.CoresPerNode)
 	apps := core.TwoAppSpecs(cfg1, cfg1.ComputeNodes/2, 1, wl)
-	out = append(out, runSeries("1 client per node", cfg1, apps, grid(kind, 60)))
-	return out
+	specs = append(specs, series("1 client per node", cfg1, apps, grid(kind, 60)))
+	return runAll(specs)
 }
 
 // --- Figure 5: network bandwidth ------------------------------------------
@@ -176,7 +212,7 @@ func Fig5(div int, syncOn bool, kind GridKind) []Series {
 	if !syncOn {
 		span = 15.0
 	}
-	var out []Series
+	var specs []seriesSpec
 	for _, bw := range []struct {
 		label string
 		rate  float64
@@ -186,9 +222,9 @@ func Fig5(div int, syncOn bool, kind GridKind) []Series {
 		if !syncOn {
 			cfg.Sync = pfs.SyncOff
 		}
-		out = append(out, runSeries(bw.label, cfg, twoApps(cfg, ContigSpec()), grid(kind, span)))
+		specs = append(specs, series(bw.label, cfg, twoApps(cfg, ContigSpec()), grid(kind, span)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- Figure 6 + Table II: number of storage servers ----------------------
@@ -205,8 +241,7 @@ type ScalePoint struct {
 // Fig6 sweeps the number of servers with sync off. It returns the scaling
 // curve (a, plus Table II) and the δ-graph per server count (b).
 func Fig6(div int, serverCounts []int, kind GridKind) ([]ScalePoint, []Series) {
-	var points []ScalePoint
-	var series []Series
+	var specs []seriesSpec
 	for _, s := range serverCounts {
 		cfg := Config(div)
 		cfg.Servers = maxInt(2, s/maxInt(1, div))
@@ -215,8 +250,12 @@ func Fig6(div int, serverCounts []int, kind GridKind) ([]ScalePoint, []Series) {
 		if s <= 4 {
 			wl.BlockBytes = BlockBytes / 2 // the paper writes 32 MB at 4 servers
 		}
-		sr := runSeries(labelServers(cfg.Servers), cfg, twoApps(cfg, wl), grid(kind, 10))
-		series = append(series, sr)
+		specs = append(specs, series(labelServers(cfg.Servers), cfg, twoApps(cfg, wl), grid(kind, 10)))
+	}
+	out := runAll(specs)
+	var points []ScalePoint
+	for i, sr := range out {
+		cfg, wl := specs[i].Spec.Cfg, specs[i].Spec.Apps[0].Workload
 		bytes := wl.TotalBytes(ProcsPerApp(cfg))
 		pt := ScalePoint{
 			Servers: cfg.Servers,
@@ -228,7 +267,7 @@ func Fig6(div int, serverCounts []int, kind GridKind) ([]ScalePoint, []Series) {
 		}
 		points = append(points, pt)
 	}
-	return points, series
+	return points, out
 }
 
 // --- Figure 7: targeted servers -------------------------------------------
@@ -246,14 +285,14 @@ func Fig7(div int, backend cluster.BackendKind, kind GridKind) []Series {
 		cfg.Servers++ // the 6+6 split needs an even server count
 	}
 	shared := twoApps(cfg, ContigSpec())
-	out := []Series{runSeries(labelServers(cfg.Servers)+" shared", cfg, shared, grid(kind, span))}
+	specs := []seriesSpec{series(labelServers(cfg.Servers)+" shared", cfg, shared, grid(kind, span))}
 
 	split := twoApps(cfg, ContigSpec())
 	half := cfg.Servers / 2
 	split[0].TargetServers = rangeInts(0, half)
 	split[1].TargetServers = rangeInts(half, cfg.Servers)
-	out = append(out, runSeries(labelSplit(half, cfg.Servers-half), cfg, split, grid(kind, span)))
-	return out
+	specs = append(specs, series(labelSplit(half, cfg.Servers-half), cfg, split, grid(kind, span)))
+	return runAll(specs)
 }
 
 // --- Figure 8: stripe size -------------------------------------------------
@@ -264,17 +303,17 @@ func Fig8(div int, syncOn bool, stripes []int64, kind GridKind) []Series {
 	if !syncOn {
 		span = 40.0
 	}
-	var out []Series
+	var specs []seriesSpec
 	for _, st := range stripes {
 		cfg := Config(div)
 		if !syncOn {
 			cfg.Sync = pfs.SyncOff
 		}
 		cfg.StripeSize = st
-		out = append(out, runSeries(sim.FormatBytes(st), cfg,
+		specs = append(specs, series(sim.FormatBytes(st), cfg,
 			twoApps(cfg, StridedSpec(256<<10)), grid(kind, span)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- Figure 9: request (block) size ----------------------------------------
@@ -286,16 +325,16 @@ func Fig9(div int, syncOn bool, blocks []int64, kind GridKind) []Series {
 	if !syncOn {
 		span = 60.0
 	}
-	var out []Series
+	var specs []seriesSpec
 	for _, b := range blocks {
 		cfg := Config(div)
 		if !syncOn {
 			cfg.Sync = pfs.SyncOff
 		}
-		out = append(out, runSeries(sim.FormatBytes(b), cfg,
+		specs = append(specs, series(sim.FormatBytes(b), cfg,
 			twoApps(cfg, StridedSpec(b)), grid(kind, span)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- Figures 10 & 11: TCP window probes -------------------------------------
@@ -306,14 +345,16 @@ func Fig10(div int) (alone, contended *netsim.Trace) {
 	cfg := Config(div)
 	apps := twoApps(cfg, ContigSpec())
 
-	solo := core.Prepare(cfg, []core.AppSpec{apps[0]})
-	alone = solo.AttachWindowTrace(0, 0, 0)
-	solo.Run()
-
-	both := core.Prepare(cfg, []core.AppSpec{apps[0], apps[1]})
-	contended = both.AttachWindowTrace(0, 0, 0)
-	both.Run()
-	return alone, contended
+	// The independent and the interfering run are themselves independent
+	// simulations, so they too go through the pool.
+	var traces [2]*netsim.Trace
+	Pool.ForEach(2, func(i int) {
+		specs := []core.AppSpec{apps[0], apps[1]}[:i+1]
+		x := core.Prepare(cfg, specs)
+		traces[i] = x.AttachWindowTrace(0, 0, 0)
+		x.Run()
+	})
+	return traces[0], traces[1]
 }
 
 // Fig11Result carries window+progress traces for both applications with
@@ -348,7 +389,7 @@ func Fig11(div int) Fig11Result {
 // Fig12 sweeps the total number of clients (both applications combined),
 // contiguous pattern on HDDs with sync on — the incast onset experiment.
 func Fig12(div int, totals []int, kind GridKind) []Series {
-	var out []Series
+	var specs []seriesSpec
 	for _, total := range totals {
 		cfg := Config(div)
 		per := total / maxInt(1, div) / 2
@@ -361,9 +402,9 @@ func Fig12(div int, totals []int, kind GridKind) []Series {
 		ppn := cfg.CoresPerNode
 		// Fewer clients occupy fewer nodes at full density, like the paper.
 		apps := core.TwoAppSpecs(cfg, per, ppn, ContigSpec())
-		out = append(out, runSeries(labelClients(2*per), cfg, apps, grid(kind, 60)))
+		specs = append(specs, series(labelClients(2*per), cfg, apps, grid(kind, 60)))
 	}
-	return out
+	return runAll(specs)
 }
 
 // --- helpers -----------------------------------------------------------------

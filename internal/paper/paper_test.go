@@ -5,6 +5,7 @@ package paper
 // acceptance tests: if one fails, a model change broke a reproduced result.
 
 import (
+	"reflect"
 	"testing"
 
 	"repro/internal/cluster"
@@ -144,6 +145,9 @@ func TestFig12IncastGrowsWithClients(t *testing.T) {
 }
 
 func TestFig6ThroughputScales(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-grid multi-series sweep, ~10s serial")
+	}
 	pts, series := Fig6(4, []int{8, 24}, GridCoarse)
 	if len(pts) != 2 || len(series) != 2 {
 		t.Fatalf("pts=%d series=%d", len(pts), len(series))
@@ -158,6 +162,20 @@ func TestFig6ThroughputScales(t *testing.T) {
 		if p.PeakIF < 1.4 || p.PeakIF > 3.6 {
 			t.Errorf("peak IF %.2f at %d servers outside [1.4, 3.6]", p.PeakIF, p.Servers)
 		}
+	}
+}
+
+// TestPoolSerialParallelIdentical covers the series-level fan-out: a whole
+// figure (two series, each with baselines and δ points) must render the
+// same result through a serial pool and a heavily parallel one.
+func TestPoolSerialParallelIdentical(t *testing.T) {
+	defer func(p core.Runner) { Pool = p }(Pool)
+	Pool = core.Runner{Parallelism: 1}
+	serial := Fig7(testDiv, cluster.RAM, GridCoarse)
+	Pool = core.Runner{Parallelism: 8}
+	parallel := Fig7(testDiv, cluster.RAM, GridCoarse)
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("figure diverged between pools:\nserial   %+v\nparallel %+v", serial, parallel)
 	}
 }
 
