@@ -1,0 +1,37 @@
+# Developer entry points. CI runs the same targets.
+
+GO      ?= go
+# BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
+# perf PRs; the _N suffix tracks the PR number that produced it.
+BENCH_OUT ?= BENCH_2.json
+
+.PHONY: test race bench
+
+# Tier-1: everything, full grids.
+test:
+	$(GO) build ./...
+	$(GO) test ./...
+
+# The CI-sized suite.
+race:
+	$(GO) vet ./...
+	$(GO) test -race -short ./...
+
+# bench runs the simulator microbenchmarks plus one figure-level campaign
+# bench and writes the combined `go test -json` stream to $(BENCH_OUT).
+# The stream embeds standard benchmark lines, so it stays
+# benchstat-comparable:
+#
+#	jq -r 'select(.Action=="output") | .Output' BENCH_2.json | benchstat -
+#
+# Compare two snapshots by extracting each to text first:
+#
+#	jq -r 'select(.Action=="output") | .Output' OLD.json > old.txt
+#	jq -r 'select(.Action=="output") | .Output' BENCH_2.json > new.txt
+#	benchstat old.txt new.txt
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineEventThroughput|BenchmarkTransportThroughput|BenchmarkHDDElevator' \
+		-benchmem -benchtime 0.5s -count 5 -json . > $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkFigure2SyncOn$$' \
+		-benchmem -benchtime 1x -count 3 -json . >> $(BENCH_OUT)
+	@echo "wrote $(BENCH_OUT)"

@@ -15,6 +15,13 @@
 // -coarse uses 5-point δ grids instead of the paper's 9-point grids;
 // -j bounds the number of concurrent simulations (default GOMAXPROCS,
 // -j 1 forces the serial reference path; results are identical either way).
+//
+// Profiling: -cpuprofile and -memprofile write pprof profiles covering the
+// selected experiments, so simulator performance work can profile a real
+// campaign (where δ-point simulations dominate) instead of microbenchmarks:
+//
+//	paperrepro -exp fig2 -scale 4 -coarse -j 1 -cpuprofile cpu.out
+//	go tool pprof cpu.out
 package main
 
 import (
@@ -23,6 +30,7 @@ import (
 	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -35,12 +43,33 @@ import (
 )
 
 func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
 	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
 	jobs := flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the campaign to `file`")
+	memprofile := flag.String("memprofile", "", "write a heap profile (after the campaign) to `file`")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("-cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	kind := paper.GridFull
 	if *coarse {
@@ -57,10 +86,22 @@ func main() {
 	}
 	for _, id := range ids {
 		if err := run.one(strings.TrimSpace(id)); err != nil {
-			fmt.Fprintf(os.Stderr, "paperrepro: %v\n", err)
-			os.Exit(1)
+			return err
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live heap before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			return fmt.Errorf("-memprofile: %w", err)
+		}
+	}
+	return nil
 }
 
 type runner struct {

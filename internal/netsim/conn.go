@@ -63,8 +63,51 @@ type Conn struct {
 	rcvQ     []*Message
 	deliverQ int64 // bytes of fully-arrived (readable) head messages
 
+	// notifyQ holds messages announced to OnReadable but not yet
+	// dispatched, consumed head-first by the opReadable event. notifyHead
+	// indexes the head so dequeueing never copy-shifts.
+	notifyQ    []*Message
+	notifyHead int
+
 	stats ConnStats
 	Trace *Trace // optional; set by probes
+}
+
+// Event ops for the sim.Target dispatch. Per-segment and per-ACK callbacks
+// were previously closures capturing (seq, size) or (ack, rwnd) — one heap
+// allocation each, millions per figure run. The connection now implements
+// sim.Target once and carries those words in the event itself.
+const (
+	opArrive   uint32 = iota // segment delivered to dst's switch port; a=seq, b=size
+	opIngress                // segment through dst's NIC; a=seq, b=size
+	opAck                    // cumulative ACK at the sender; a=ack, b=rwnd
+	opReadable               // head message fully arrived; pops notifyQ
+	opRTO                    // retransmission timer; a=deadline
+)
+
+// OnEvent implements sim.Target: the closure-free landing point for every
+// per-segment event of the connection.
+func (c *Conn) OnEvent(op uint32, a, b int64) {
+	switch op {
+	case opArrive:
+		c.arriveAtPort(a, b)
+	case opIngress:
+		c.Dst.portQ -= b
+		c.receive(a, b)
+	case opAck:
+		c.handleAck(a, b)
+	case opReadable:
+		m := c.notifyQ[c.notifyHead]
+		c.notifyQ[c.notifyHead] = nil
+		c.notifyHead++
+		if c.notifyHead == len(c.notifyQ) {
+			c.notifyQ = c.notifyQ[:0]
+			c.notifyHead = 0
+		}
+		c.OnReadable(c, m)
+	case opRTO:
+		c.checkRTO(sim.Time(a))
+	}
 }
 
 // Dial creates a connection from src to dst.
@@ -168,7 +211,7 @@ func (c *Conn) transmit(seq, size int64) {
 		c.Trace.sampleSend(c)
 	}
 	c.armRTO()
-	c.Src.Egress.Send(size, func() { c.arriveAtPort(seq, size) })
+	c.Src.Egress.SendCall(size, c, opArrive, seq, size)
 }
 
 // arriveAtPort is the segment reaching the receiver's switch port.
@@ -182,10 +225,7 @@ func (c *Conn) arriveAtPort(seq, size int64) {
 	h.portQ += size
 	h.stats.SegsIn++
 	h.stats.BytesIn += size
-	h.Ingress.Send(size, func() {
-		h.portQ -= size
-		c.receive(seq, size)
-	})
+	h.Ingress.SendCall(size, c, opIngress, seq, size) // opIngress undoes portQ
 }
 
 // receive handles an in-order segment at the server NIC.
@@ -221,8 +261,8 @@ func (c *Conn) notifyReadable() {
 		}
 		m.notified = true
 		if c.OnReadable != nil {
-			m := m
-			c.F.E.Schedule(0, func() { c.OnReadable(c, m) })
+			c.notifyQ = append(c.notifyQ, m)
+			c.F.E.ScheduleCall(0, c, opReadable, 0, 0)
 		}
 	}
 }
@@ -241,17 +281,13 @@ func (c *Conn) ReadHead() *Message {
 	c.rcvQ = c.rcvQ[:len(c.rcvQ)-1]
 	c.readSeq = m.endSeq
 	// Window update travels on the reverse path.
-	rwnd := c.F.P.Rmem - c.Unread()
-	ack := c.rcvNext
-	c.F.E.Schedule(c.F.P.AckLatency, func() { c.handleAck(ack, rwnd) })
+	c.F.E.ScheduleCall(c.F.P.AckLatency, c, opAck, c.rcvNext, c.F.P.Rmem-c.Unread())
 	return m
 }
 
 // sendAck sends a cumulative ACK carrying the current advertised window.
 func (c *Conn) sendAck() {
-	ack := c.rcvNext
-	rwnd := c.F.P.Rmem - c.Unread()
-	c.F.E.Schedule(c.F.P.AckLatency, func() { c.handleAck(ack, rwnd) })
+	c.F.E.ScheduleCall(c.F.P.AckLatency, c, opAck, c.rcvNext, c.F.P.Rmem-c.Unread())
 }
 
 // handleAck runs at the sender when an ACK/window update arrives.
@@ -302,7 +338,7 @@ func (c *Conn) armRTO() {
 	c.rtoArmed = true
 	c.lastProg = c.F.E.Now()
 	deadline := c.F.E.Now() + c.rto
-	c.F.E.At(deadline, func() { c.checkRTO(deadline) })
+	c.F.E.AtCall(deadline, c, opRTO, int64(deadline), 0)
 }
 
 // checkRTO fires when the timer expires; if progress happened meanwhile the
@@ -321,7 +357,7 @@ func (c *Conn) checkRTO(deadline sim.Time) {
 		// Progress since arming: re-arm relative to it.
 		c.rtoArmed = true
 		nd := c.lastProg + c.rto
-		c.F.E.At(nd, func() { c.checkRTO(nd) })
+		c.F.E.AtCall(nd, c, opRTO, int64(nd), 0)
 		return
 	}
 	// Timeout: go-back-N from the cumulative ACK with multiplicative

@@ -1,0 +1,194 @@
+package paper
+
+// Golden-determinism guard for the simulation kernel.
+//
+// Every figure driver is run on a tiny platform (testDiv nodes/servers,
+// coarse δ grids) and the complete numeric result — alone baselines, per-δ
+// elapsed times, interference factors, throughputs, diagnostic counters
+// (including the engine's executed-event count) and every raw trace sample —
+// is serialized to a canonical text form and hashed. The hashes live in
+// testdata/golden_checksums.txt.
+//
+// The point: performance rewrites of internal/sim (and the layers above)
+// must reproduce these checksums bit-for-bit. A kernel change that reorders
+// events, drops an event, or perturbs a single float will flip a hash here
+// long before a qualitative shape test notices. Regenerate (after an
+// *intentional* model change only) with:
+//
+//	go test ./internal/paper -run TestGoldenDeterminism -update-golden
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/netsim"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_checksums.txt from the current kernel")
+
+const goldenFile = "testdata/golden_checksums.txt"
+
+// goldenSeries serializes labeled δ-graphs exactly. Times are integer
+// nanoseconds; floats use %.17g, which round-trips float64 bit-for-bit.
+func goldenSeries(b *strings.Builder, ss []Series) {
+	for i, s := range ss {
+		g := s.Graph
+		fmt.Fprintf(b, "series %d label=%q alone0=%d alone1=%d\n", i, s.Label, g.Alone[0], g.Alone[1])
+		for j, p := range g.Points {
+			fmt.Fprintf(b, "point %d.%d delta=%d e0=%d e1=%d if0=%.17g if1=%.17g tp0=%.17g tp1=%.17g",
+				i, j, p.Delta, p.Elapsed[0], p.Elapsed[1], p.IF[0], p.IF[1], p.Throughput[0], p.Throughput[1])
+			d := p.Diag
+			fmt.Fprintf(b, " drops=%d timeouts=%d retrans=%d seeks=%d devbytes=%d cacheblk=%d events=%d\n",
+				d.PortDrops, d.Timeouts, d.RetransSegs, d.DeviceSeeks, d.DeviceBytes, d.CacheBlocks, d.Events)
+		}
+	}
+}
+
+// goldenTrace serializes every raw sample of a window trace.
+func goldenTrace(b *strings.Builder, name string, t *netsim.Trace) {
+	fmt.Fprintf(b, "trace %s len=%d\n", name, t.Len())
+	for i := range t.Times {
+		fmt.Fprintf(b, "%s %d t=%d wnd=%.17g cwnd=%.17g acked=%d kind=%c\n",
+			name, i, t.Times[i], t.Wnd[i], t.Cwnd[i], t.Acked[i], t.Kind[i])
+	}
+}
+
+// goldenCases maps a stable key to a function producing the canonical text
+// of one figure's full result at the golden scale.
+func goldenCases() map[string]func() string {
+	div := testDiv
+	series := func(f func() []Series) func() string {
+		return func() string {
+			var b strings.Builder
+			goldenSeries(&b, f())
+			return b.String()
+		}
+	}
+	return map[string]func() string{
+		"table1": func() string {
+			var b strings.Builder
+			for _, r := range Table1() {
+				fmt.Fprintf(&b, "row %s alone=%d together=%d slowdown=%.17g\n",
+					r.Backend, r.Alone, r.Together, r.Slowdown)
+			}
+			return b.String()
+		},
+		"fig2-syncon":  series(func() []Series { return Fig2(div, true, GridCoarse) }),
+		"fig2-syncoff": series(func() []Series { return Fig2(div, false, GridCoarse) }),
+		"fig3-syncon":  series(func() []Series { return Fig3(div, true, GridCoarse) }),
+		"fig3-syncoff": series(func() []Series { return Fig3(div, false, GridCoarse) }),
+		"fig4":         series(func() []Series { return Fig4(div, GridCoarse) }),
+		"fig5-syncon":  series(func() []Series { return Fig5(div, true, GridCoarse) }),
+		"fig5-syncoff": series(func() []Series { return Fig5(div, false, GridCoarse) }),
+		"fig6": func() string {
+			pts, ss := Fig6(div, []int{16, 48}, GridCoarse)
+			var b strings.Builder
+			for _, p := range pts {
+				fmt.Fprintf(&b, "scale servers=%d max=%.17g min=%.17g peak=%.17g\n",
+					p.Servers, p.MaxBps, p.MinBps, p.PeakIF)
+			}
+			goldenSeries(&b, ss)
+			return b.String()
+		},
+		"fig7-hdd": series(func() []Series { return Fig7(div, cluster.HDD, GridCoarse) }),
+		"fig7-ram": series(func() []Series { return Fig7(div, cluster.RAM, GridCoarse) }),
+		"fig8-syncon": series(func() []Series {
+			return Fig8(div, true, []int64{64 << 10, 256 << 10}, GridCoarse)
+		}),
+		"fig8-syncoff": series(func() []Series {
+			return Fig8(div, false, []int64{64 << 10, 256 << 10}, GridCoarse)
+		}),
+		"fig9-syncon": series(func() []Series {
+			return Fig9(div, true, []int64{64 << 10, 512 << 10}, GridCoarse)
+		}),
+		"fig9-syncoff": series(func() []Series {
+			return Fig9(div, false, []int64{64 << 10, 512 << 10}, GridCoarse)
+		}),
+		"fig10": func() string {
+			alone, contended := Fig10(div)
+			var b strings.Builder
+			goldenTrace(&b, "alone", alone)
+			goldenTrace(&b, "contended", contended)
+			return b.String()
+		},
+		"fig11": func() string {
+			res := Fig11(div)
+			var b strings.Builder
+			fmt.Fprintf(&b, "end=%d totalA=%d totalB=%d\n", res.End, res.TotalA, res.TotalB)
+			goldenTrace(&b, "A", res.TraceA)
+			goldenTrace(&b, "B", res.TraceB)
+			return b.String()
+		},
+		"fig12": series(func() []Series { return Fig12(div, []int{128, 512}, GridCoarse) }),
+	}
+}
+
+func readGolden(t *testing.T) map[string]string {
+	t.Helper()
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with -update-golden): %v", goldenFile, err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	return want
+}
+
+func TestGoldenDeterminism(t *testing.T) {
+	cases := goldenCases()
+
+	if *updateGolden {
+		keys := make([]string, 0, len(cases))
+		for k := range cases {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		var b strings.Builder
+		b.WriteString("# sha256 of each figure's canonical result at testDiv scale, coarse grids.\n")
+		b.WriteString("# Regenerate: go test ./internal/paper -run TestGoldenDeterminism -update-golden\n")
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s %x\n", k, sha256.Sum256([]byte(cases[k]())))
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d figures)", goldenFile, len(keys))
+		return
+	}
+
+	want := readGolden(t)
+	for key, gen := range cases {
+		key, gen := key, gen
+		t.Run(key, func(t *testing.T) {
+			t.Parallel() // figures are independent; the Pool bounds real work
+			wantSum, ok := want[key]
+			if !ok {
+				t.Fatalf("no golden checksum for %q (regenerate with -update-golden)", key)
+			}
+			text := gen()
+			got := fmt.Sprintf("%x", sha256.Sum256([]byte(text)))
+			if got != wantSum {
+				t.Errorf("checksum drift: got %s want %s\ncanonical result was:\n%s", got, wantSum, text)
+			}
+		})
+	}
+}

@@ -1,38 +1,41 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// event is a scheduled callback. Events with equal times execute in the order
-// they were scheduled (seq is a monotonically increasing tiebreaker), which
-// keeps simulations deterministic.
+// Target receives scheduled callbacks without a closure allocation. Layers
+// whose per-event callback is a fixed method on a long-lived object (a
+// connection handling its ACKs, a device completing its current request)
+// implement Target once and pass op/a/b through the event instead of
+// capturing them: scheduling then costs zero heap allocations. op
+// discriminates between the object's event kinds; a and b are opaque
+// payload words whose meaning is private to the implementation.
+type Target interface {
+	OnEvent(op uint32, a, b int64)
+}
+
+// event is one scheduled entry: a callback due at a simulated time. Events
+// with equal times execute in the order they were scheduled (seq is a
+// monotonically increasing tiebreaker), which keeps simulations
+// deterministic.
+//
+// The payload is a tagged union, discriminated by which pointer is set:
+//
+//	p   != nil — resume the parked process p (the Sleep/wake path)
+//	tgt != nil — call tgt.OnEvent(op, a, b) (the closure-free callback path)
+//	otherwise  — call fn
+//
+// Every variant is inline — no interface boxing, no allocation on push or
+// pop. Procs and Targets are pointers to objects that already exist; only
+// the fn variant may carry a freshly allocated closure, and the hot paths
+// (proc wake-ups, transport segments, device completions) avoid it.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-// eventHeap is a min-heap ordered by (at, seq).
-type eventHeap []event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = event{}
-	*h = old[:n-1]
-	return ev
+	at   Time
+	seq  uint64
+	a, b int64
+	fn   func()
+	p    *Proc
+	tgt  Target
+	op   uint32
 }
 
 // Engine is a discrete-event simulation executor. The zero value is not
@@ -43,7 +46,7 @@ func (h *eventHeap) Pop() interface{} {
 // shared simulation state without locks.
 type Engine struct {
 	now     Time
-	events  eventHeap
+	events  []event // min-heap ordered by (at, seq)
 	seq     uint64
 	yield   chan struct{} // procs hand control back to the loop on this
 	current *Proc         // proc currently holding control, if any
@@ -80,6 +83,72 @@ func (e *Engine) ProcsFinished() int { return e.finished }
 // ProcsSpawned returns how many processes were ever spawned.
 func (e *Engine) ProcsSpawned() int { return e.spawned }
 
+// ---- heap ----------------------------------------------------------------
+//
+// A hand-specialized binary min-heap over the []event slice, keyed on
+// (at, seq). Compared with container/heap this removes the interface boxing
+// on every Push/Pop (two heap allocations per event), the indirect
+// Len/Less/Swap calls, and the zero-write of the vacated tail slot. The
+// trade-off of skipping that zero-write: pointers in the slice's unused tail
+// stay reachable until overwritten by a later push — harmless here because
+// engines live for one simulation and are then dropped wholesale.
+
+// less orders events by time, then by scheduling order.
+func (e *Engine) less(i, j int) bool {
+	if e.events[i].at != e.events[j].at {
+		return e.events[i].at < e.events[j].at
+	}
+	return e.events[i].seq < e.events[j].seq
+}
+
+// push inserts ev, assigning its tiebreaker sequence number.
+func (e *Engine) push(ev event) {
+	e.seq++
+	ev.seq = e.seq
+	e.events = append(e.events, ev)
+	// Sift up.
+	h := e.events
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+// popMin removes and returns the earliest event. The queue must not be
+// empty.
+func (e *Engine) popMin() event {
+	h := e.events
+	min := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	e.events = h[:n]
+	// Sift down.
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && e.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && e.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		h[i], h[smallest] = h[smallest], h[i]
+		i = smallest
+	}
+	return min
+}
+
+// ---- scheduling ----------------------------------------------------------
+
 // Schedule runs fn after delay d (d may be zero; negative panics).
 func (e *Engine) Schedule(d Time, fn func()) {
 	if d < 0 {
@@ -93,9 +162,49 @@ func (e *Engine) At(t Time, fn func()) {
 	if t < e.now {
 		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
 	}
-	e.seq++
-	heap.Push(&e.events, event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, fn: fn})
 }
+
+// ScheduleCall runs tgt.OnEvent(op, a, b) after delay d. It is the
+// closure-free counterpart of Schedule: no allocation happens on this path.
+func (e *Engine) ScheduleCall(d Time, tgt Target, op uint32, a, b int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.AtCall(e.now+d, tgt, op, a, b)
+}
+
+// AtCall runs tgt.OnEvent(op, a, b) at absolute time t, which must not be
+// in the past. It is the closure-free counterpart of At.
+func (e *Engine) AtCall(t Time, tgt Target, op uint32, a, b int64) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: at %v, now %v", t, e.now))
+	}
+	e.push(event{at: t, tgt: tgt, op: op, a: a, b: b})
+}
+
+// scheduleProc schedules a handoff to p after delay d (the Sleep/wake
+// path). Like ScheduleCall it allocates nothing.
+func (e *Engine) scheduleProc(d Time, p *Proc) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.push(event{at: e.now + d, p: p})
+}
+
+// dispatch executes one popped event according to its union tag.
+func (e *Engine) dispatch(ev event) {
+	switch {
+	case ev.p != nil:
+		e.handoff(ev.p)
+	case ev.tgt != nil:
+		ev.tgt.OnEvent(ev.op, ev.a, ev.b)
+	default:
+		ev.fn()
+	}
+}
+
+// ---- execution -----------------------------------------------------------
 
 // Run executes events until the queue is empty and returns the final time.
 func (e *Engine) Run() Time { return e.RunUntil(MaxTime) }
@@ -108,25 +217,29 @@ func (e *Engine) RunUntil(deadline Time) Time {
 		if e.events[0].at > deadline {
 			break
 		}
-		ev := heap.Pop(&e.events).(event)
+		ev := e.popMin()
 		if ev.at < e.now {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
 		e.executed++
-		ev.fn()
+		e.dispatch(ev)
 	}
 	return e.now
 }
 
 // Step executes exactly one event if available and reports whether it did.
+// It applies the same time-monotonicity check as RunUntil.
 func (e *Engine) Step() bool {
 	if len(e.events) == 0 {
 		return false
 	}
-	ev := heap.Pop(&e.events).(event)
+	ev := e.popMin()
+	if ev.at < e.now {
+		panic("sim: time went backwards")
+	}
 	e.now = ev.at
 	e.executed++
-	ev.fn()
+	e.dispatch(ev)
 	return true
 }

@@ -34,9 +34,9 @@ func NewLine(e *Engine, bytesPerSec float64) *Line {
 	return &Line{E: e, Rate: bytesPerSec}
 }
 
-// Send schedules the transfer of n bytes; fn runs when the last byte has
-// been delivered (serialization + latency). It returns the delivery time.
-func (l *Line) Send(n int64, fn func()) Time {
+// reserve books n bytes of service on the line and returns their delivery
+// time (serialization + latency).
+func (l *Line) reserve(n int64) Time {
 	start := l.E.now
 	if l.busyUntil > start {
 		start = l.busyUntil
@@ -46,10 +46,25 @@ func (l *Line) Send(n int64, fn func()) Time {
 	l.busy += dur
 	l.bytes += n
 	l.ops++
-	at := l.busyUntil + l.Latency
+	return l.busyUntil + l.Latency
+}
+
+// Send schedules the transfer of n bytes; fn runs when the last byte has
+// been delivered (serialization + latency). It returns the delivery time.
+func (l *Line) Send(n int64, fn func()) Time {
+	at := l.reserve(n)
 	if fn != nil {
 		l.E.At(at, fn)
 	}
+	return at
+}
+
+// SendCall is the closure-free Send: tgt.OnEvent(op, a, b) runs at delivery.
+// Per-segment senders whose completion handler is a fixed method (netsim's
+// transport) use this to avoid allocating a closure per transfer.
+func (l *Line) SendCall(n int64, tgt Target, op uint32, a, b int64) Time {
+	at := l.reserve(n)
+	l.E.AtCall(at, tgt, op, a, b)
 	return at
 }
 

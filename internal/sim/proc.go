@@ -17,7 +17,10 @@ type Proc struct {
 
 // Spawn creates a process and schedules it to start at the current time.
 // The body runs with coroutine semantics: it executes exclusively until it
-// blocks or returns.
+// blocks or returns. The goroutine is created lazily inside the start
+// event, so an engine that is dropped without running leaks nothing; the
+// one closure this costs is per-spawn, not per-event, and spawns are cold
+// next to the Sleep/wake path.
 func (e *Engine) Spawn(name string, body func(*Proc)) *Proc {
 	p := &Proc{eng: e, name: name, resume: make(chan struct{})}
 	e.spawned++
@@ -59,9 +62,10 @@ func (p *Proc) park() {
 }
 
 // wake schedules a handoff to p at the current time (FIFO among equal-time
-// events). It is the only way parked procs resume.
+// events). It is the only way parked procs resume. The handoff rides the
+// event's *Proc union arm, so waking allocates nothing.
 func (p *Proc) wake() {
-	p.eng.Schedule(0, func() { p.eng.handoff(p) })
+	p.eng.scheduleProc(0, p)
 }
 
 // Name returns the process name given at Spawn.
@@ -73,25 +77,69 @@ func (p *Proc) Engine() *Engine { return p.eng }
 // Now returns the current simulated time.
 func (p *Proc) Now() Time { return p.eng.now }
 
-// Sleep suspends the process for d simulated time.
+// Sleep suspends the process for d simulated time. Even a zero-length sleep
+// yields, preserving FIFO fairness among same-time events. Like wake, the
+// resume event is closure-free.
 func (p *Proc) Sleep(d Time) {
-	if d <= 0 {
-		// Even a zero-length sleep yields, preserving FIFO fairness among
-		// same-time events.
+	if d < 0 {
 		d = 0
 	}
-	p.eng.Schedule(d, func() { p.eng.handoff(p) })
+	p.eng.scheduleProc(d, p)
 	p.park()
 }
 
 // Yield gives other same-time events a chance to run before continuing.
 func (p *Proc) Yield() { p.Sleep(0) }
 
+// waitq is a FIFO of parked procs backed by a power-of-two ring buffer:
+// push and pop are O(1) with no copying, unlike the copy-shift dequeues a
+// plain slice needs. The buffer grows geometrically and is retained across
+// fill/drain cycles, so a waiter queue in steady state allocates nothing.
+type waitq struct {
+	buf  []*Proc // len is 0 or a power of two
+	head int
+	n    int
+}
+
+// push appends p to the tail.
+func (q *waitq) push(p *Proc) {
+	if q.n == len(q.buf) {
+		q.grow()
+	}
+	q.buf[(q.head+q.n)&(len(q.buf)-1)] = p
+	q.n++
+}
+
+// pop removes and returns the head. The queue must not be empty.
+func (q *waitq) pop() *Proc {
+	p := q.buf[q.head]
+	q.buf[q.head] = nil // release the reference; the proc may be long-lived
+	q.head = (q.head + 1) & (len(q.buf) - 1)
+	q.n--
+	return p
+}
+
+// len returns the number of queued procs.
+func (q *waitq) len() int { return q.n }
+
+// grow doubles the ring, unwrapping it to the front of the new buffer.
+func (q *waitq) grow() {
+	size := 2 * len(q.buf)
+	if size == 0 {
+		size = 8
+	}
+	nb := make([]*Proc, size)
+	for i := 0; i < q.n; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf, q.head = nb, 0
+}
+
 // A Signal is a one-shot broadcast: procs Await it, and once Fired all
 // current and future waiters proceed immediately. The zero value is usable.
 type Signal struct {
 	fired   bool
-	waiters []*Proc
+	waiters waitq
 	fns     []func()
 }
 
@@ -105,10 +153,9 @@ func (s *Signal) Fire(e *Engine) {
 		return
 	}
 	s.fired = true
-	for _, p := range s.waiters {
-		p.wake()
+	for s.waiters.len() > 0 {
+		s.waiters.pop().wake()
 	}
-	s.waiters = nil
 	for _, fn := range s.fns {
 		e.Schedule(0, fn)
 	}
@@ -121,7 +168,7 @@ func (p *Proc) Await(s *Signal) {
 	if s.fired {
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
 	p.park()
 }
 
@@ -177,7 +224,7 @@ func (g *Gate) Opened() bool { return g.opened.fired }
 // bound on in-flight operations (e.g. per-process outstanding I/O requests).
 type Semaphore struct {
 	avail   int
-	waiters []*Proc
+	waiters waitq
 }
 
 // NewSemaphore returns a semaphore with n available tokens.
@@ -185,18 +232,18 @@ func NewSemaphore(n int) *Semaphore { return &Semaphore{avail: n} }
 
 // Acquire takes a token, blocking FIFO if none is available.
 func (s *Semaphore) Acquire(p *Proc) {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.waiters.len() == 0 {
 		s.avail--
 		return
 	}
-	s.waiters = append(s.waiters, p)
+	s.waiters.push(p)
 	p.park()
 	// The token was passed to us directly by Release; nothing to decrement.
 }
 
 // TryAcquire takes a token without blocking and reports success.
 func (s *Semaphore) TryAcquire() bool {
-	if s.avail > 0 && len(s.waiters) == 0 {
+	if s.avail > 0 && s.waiters.len() == 0 {
 		s.avail--
 		return true
 	}
@@ -204,13 +251,11 @@ func (s *Semaphore) TryAcquire() bool {
 }
 
 // Release returns a token, waking the oldest waiter if any. The token passes
-// directly to the waiter (no barging).
+// directly to the waiter (no barging). Dequeueing the waiter and scheduling
+// its resume are both allocation-free O(1) operations.
 func (s *Semaphore) Release() {
-	if len(s.waiters) > 0 {
-		p := s.waiters[0]
-		copy(s.waiters, s.waiters[1:])
-		s.waiters = s.waiters[:len(s.waiters)-1]
-		p.wake()
+	if s.waiters.len() > 0 {
+		s.waiters.pop().wake()
 		return
 	}
 	s.avail++
@@ -220,4 +265,4 @@ func (s *Semaphore) Release() {
 func (s *Semaphore) Available() int { return s.avail }
 
 // Waiting returns the number of blocked acquirers.
-func (s *Semaphore) Waiting() int { return len(s.waiters) }
+func (s *Semaphore) Waiting() int { return s.waiters.len() }

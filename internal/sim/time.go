@@ -11,6 +11,14 @@
 // broadcast), Gate (countdown latch), Semaphore (counted tokens with FIFO
 // waiters), Line (a serialized transmission resource such as a NIC or bus),
 // and a deterministic splitmix64 random number generator.
+//
+// The kernel is engineered for a zero-allocation steady state. Events are
+// stored inline in a hand-specialized min-heap, and the hot scheduling
+// paths avoid per-event closures: parked processes resume through the
+// event's *Proc arm, and layers whose callback is a fixed method on a
+// long-lived object implement Target and use ScheduleCall/AtCall (or
+// Line.SendCall), which carry the callback's arguments in the event
+// itself.
 package sim
 
 import (

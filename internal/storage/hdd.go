@@ -43,6 +43,7 @@ type HDD struct {
 	files []FileID
 
 	busy     bool
+	cur      *Request // request in service; completes at the next OnEvent
 	headFile FileID
 	headOff  int64
 	headSet  bool
@@ -160,8 +161,16 @@ func (d *HDD) serveNext() {
 	d.headSet = true
 	d.runBytes += r.Size
 
-	d.E.Schedule(dur, func() {
-		complete(r)
-		d.serveNext()
-	})
+	d.cur = r
+	d.E.ScheduleCall(dur, d, 0, 0, 0)
+}
+
+// OnEvent implements sim.Target: completion of the request in service. The
+// disk serves one request at a time, so the event needs no payload and
+// scheduling it allocates nothing.
+func (d *HDD) OnEvent(op uint32, a, b int64) {
+	r := d.cur
+	d.cur = nil
+	complete(r)
+	d.serveNext()
 }

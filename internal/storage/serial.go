@@ -19,11 +19,22 @@ type serial struct {
 
 	queue       []*Request
 	busy        bool
+	cur         *Request // request in service; completes at the next OnEvent
 	lastFile    FileID
 	lastEnd     int64
 	haveLast    bool
 	queuedBytes int64
 	stats       Stats
+}
+
+// OnEvent implements sim.Target: completion of the request in service. The
+// device serves one request at a time, so the event needs no payload and
+// scheduling it allocates nothing.
+func (d *serial) OnEvent(op uint32, a, b int64) {
+	r := d.cur
+	d.cur = nil
+	complete(r)
+	d.serveNext()
 }
 
 func (d *serial) Name() string       { return d.name }
@@ -60,10 +71,8 @@ func (d *serial) serveNext() {
 	d.stats.Bytes += r.Size
 	d.stats.Busy += dur
 
-	d.e.Schedule(dur, func() {
-		complete(r)
-		d.serveNext()
-	})
+	d.cur = r
+	d.e.ScheduleCall(dur, d, 0, 0, 0)
 }
 
 // SSDParams configures the flash device model.
