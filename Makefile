@@ -5,7 +5,7 @@ GO      ?= go
 # perf PRs; the _N suffix tracks the PR number that produced it.
 BENCH_OUT ?= BENCH_2.json
 
-.PHONY: test race bench
+.PHONY: test race bench scenarios
 
 # Tier-1: everything, full grids.
 test:
@@ -16,6 +16,12 @@ test:
 race:
 	$(GO) vet ./...
 	$(GO) test -race -short ./...
+
+# scenarios executes every built-in N-application scenario (SCENARIOS.md)
+# on HDD and SSD at the smoke scale — the same tiny grid the scenario
+# golden test pins — so a broken scenario fails fast on every push.
+scenarios:
+	$(GO) run ./cmd/scenarios -smoke -run all
 
 # bench runs the simulator microbenchmarks plus one figure-level campaign
 # bench and writes the combined `go test -json` stream to $(BENCH_OUT).

@@ -10,6 +10,11 @@
 //
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6 (includes table2),
 // fig7, fig8, fig9, fig10, fig11, fig12, ablation-policy, ablation-read.
+// Beyond the paper, "scenarios" runs every built-in N-application scenario
+// (see SCENARIOS.md) on HDD and SSD. Note: for this experiment any
+// -scale > 1 selects the fixed smoke grid (procs/8, volume/16, ≤3 δ
+// points) rather than acting as a divisor; cmd/scenarios is the richer
+// driver (-run, -file, -backend, -smoke).
 //
 // -scale divides node/server counts (processes per server stay constant);
 // -coarse uses 5-point δ grids instead of the paper's 9-point grids;
@@ -39,6 +44,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/pfs"
 	"repro/internal/report"
+	"repro/internal/scenario"
 	"repro/internal/workload"
 )
 
@@ -50,7 +56,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
@@ -226,9 +232,36 @@ func (r *runner) one(id string) error {
 		r.emit(r.ablationPolicy())
 	case "ablation-read":
 		r.emit(r.ablationRead())
+	case "scenarios":
+		if err := r.scenarios(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
+	return nil
+}
+
+// scenarios runs every built-in N-application scenario on its backend axis
+// (HDD and SSD) and emits the summary plus the per-result pairwise IF
+// matrices. -scale > 1 selects the smoke grid. cmd/scenarios offers finer
+// selection (-run, -file, -backend).
+func (r *runner) scenarios() error {
+	var all []*scenario.Result
+	for _, s := range scenario.Builtin() {
+		if r.scale > 1 {
+			s = s.Smoke()
+		}
+		results, err := scenario.RunAll(s, paper.Pool)
+		if err != nil {
+			return err
+		}
+		for _, res := range results {
+			all = append(all, res)
+			r.emit(scenario.RenderGraph(res), scenario.RenderMatrix(res))
+		}
+	}
+	r.emit(scenario.RenderSummary(all))
 	return nil
 }
 

@@ -1,0 +1,145 @@
+// Command scenarios runs declarative N-application interference scenarios
+// (see SCENARIOS.md and internal/scenario) and prints, per scenario and
+// backend, the alone baselines, the δ-graph and the pairwise
+// interference-factor matrix.
+//
+// Usage:
+//
+//	scenarios -list                          # show the built-in registry
+//	scenarios                                # run every built-in on HDD and SSD
+//	scenarios -run elephant-mice,mixed-transfer
+//	scenarios -file my_scenario.json         # run a hand-written spec
+//	scenarios -smoke -run all                # the CI smoke grid (tiny)
+//	scenarios -backend ssd -tsv              # one backend, machine-readable
+//
+// Every alone baseline, δ point and pairwise co-run is an independent
+// simulation; -j bounds how many run concurrently (default GOMAXPROCS).
+// Output is identical at any -j.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/report"
+	"repro/internal/scenario"
+)
+
+func main() {
+	if err := realMain(); err != nil {
+		fmt.Fprintf(os.Stderr, "scenarios: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func realMain() error {
+	var (
+		list    = flag.Bool("list", false, "list built-in scenarios and exit")
+		run     = flag.String("run", "all", "comma-separated built-in scenario names, or all")
+		file    = flag.String("file", "", "run a scenario spec from a JSON `file` instead of the registry")
+		backend = flag.String("backend", "", "run on one backend only (hdd, ssd, ram, null); default: the scenario's axis (hdd+ssd)")
+		smoke   = flag.Bool("smoke", false, "shrink every scenario to the CI smoke grid")
+		tsv     = flag.Bool("tsv", false, "TSV output instead of aligned tables")
+		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+	)
+	flag.Parse()
+
+	if *list {
+		t := report.New("built-in scenarios", "name", "apps", "backend", "description")
+		for _, s := range scenario.Builtin() {
+			axis := s.Backend
+			if axis == "" {
+				axis = "hdd+ssd"
+			}
+			t.Add(s.Name, len(s.Apps), axis, s.Description)
+		}
+		return emit(os.Stdout, *tsv, t)
+	}
+
+	specs, err := selectSpecs(*file, *run)
+	if err != nil {
+		return err
+	}
+
+	var backends []cluster.BackendKind
+	if *backend != "" {
+		b, err := cluster.ParseBackend(*backend)
+		if err != nil {
+			return err
+		}
+		backends = []cluster.BackendKind{b}
+	}
+
+	pool := core.Runner{Parallelism: *jobs}
+	var all []*scenario.Result
+	for _, s := range specs {
+		if *smoke {
+			s = s.Smoke()
+		}
+		axis := backends
+		if axis == nil {
+			if axis, err = s.Backends(); err != nil {
+				return err
+			}
+		}
+		for _, b := range axis {
+			res, err := scenario.Run(s, b, pool)
+			if err != nil {
+				return err
+			}
+			all = append(all, res)
+			if err := emit(os.Stdout, *tsv,
+				scenario.RenderBaselines(res),
+				scenario.RenderGraph(res),
+				scenario.RenderMatrix(res)); err != nil {
+				return err
+			}
+		}
+	}
+	return emit(os.Stdout, *tsv, scenario.RenderSummary(all))
+}
+
+// selectSpecs resolves the -file / -run selection into an ordered spec list.
+func selectSpecs(file, run string) ([]scenario.Spec, error) {
+	if file != "" {
+		s, err := scenario.Load(file)
+		if err != nil {
+			return nil, err
+		}
+		return []scenario.Spec{s}, nil
+	}
+	if run == "all" || run == "" {
+		return scenario.Builtin(), nil
+	}
+	var out []scenario.Spec
+	for _, name := range strings.Split(run, ",") {
+		s, err := scenario.Lookup(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func emit(w io.Writer, tsv bool, tables ...*report.Table) error {
+	for _, t := range tables {
+		var err error
+		if tsv {
+			err = t.WriteTSV(w)
+		} else {
+			err = t.WriteASCII(w)
+		}
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}

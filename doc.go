@@ -6,9 +6,14 @@
 // HPC storage stack — compute nodes, a TCP-like fabric with incast
 // dynamics, a PVFS/OrangeFS-like parallel file system, and storage device
 // models — plus the paper's δ-graph experiment methodology and one
-// regenerable experiment per table and figure. See README.md for a tour,
-// DESIGN.md for the system inventory and EXPERIMENTS.md for paper-versus-
-// measured results.
+// regenerable experiment per table and figure. The methodology is
+// generalized beyond the paper's two applications: δ-graphs carry N apps
+// with per-app start offsets, pairwise interference-factor matrices
+// summarize who hurts whom, and a declarative scenario layer
+// (internal/scenario, cmd/scenarios) runs named N-app scenarios on HDD and
+// SSD. See README.md for a tour, DESIGN.md for the system inventory,
+// EXPERIMENTS.md for paper-versus-measured results and SCENARIOS.md for
+// the scenario engine.
 //
 // δ-graph campaigns are embarrassingly parallel — every alone baseline,
 // δ point and figure series is an independent simulation on its own

@@ -41,7 +41,15 @@ func (b BackendKind) String() string {
 	return "unknown"
 }
 
-// ParseBackend converts a name ("hdd", "ssd", "ram", "null") to a kind.
+// BackendNames lists the canonical backend names ParseBackend accepts, in
+// declaration order — the valid set shown by CLI error messages.
+func BackendNames() []string {
+	return []string{HDD.String(), SSD.String(), RAM.String(), Null.String()}
+}
+
+// ParseBackend converts a name ("hdd", "ssd", "ram", "null"; a few aliases
+// like "disk" and "tmpfs" are accepted) to a kind. Unknown names yield an
+// error listing the valid set.
 func ParseBackend(s string) (BackendKind, error) {
 	switch strings.ToLower(s) {
 	case "hdd", "disk":
@@ -53,7 +61,8 @@ func ParseBackend(s string) (BackendKind, error) {
 	case "null", "null-aio", "nullaio":
 		return Null, nil
 	}
-	return 0, fmt.Errorf("cluster: unknown backend %q", s)
+	return 0, fmt.Errorf("cluster: unknown backend %q (valid: %s)",
+		s, strings.Join(BackendNames(), ", "))
 }
 
 // Config describes a platform to build.

@@ -163,22 +163,50 @@ func TestDeltasGridSorted(t *testing.T) {
 }
 
 func TestUnfairnessMetric(t *testing.T) {
-	g := &DeltaGraph{Alone: [2]sim.Time{10 * sim.Second, 10 * sim.Second}}
+	g := &DeltaGraph{Alone: []sim.Time{10 * sim.Second, 10 * sim.Second}}
 	// Symmetric graph: second app suffers same as first.
 	g.Points = []DeltaPoint{
-		{Delta: sim.Seconds(5), Elapsed: [2]sim.Time{12 * sim.Second, 12 * sim.Second}, IF: [2]float64{1.2, 1.2}},
-		{Delta: sim.Seconds(-5), Elapsed: [2]sim.Time{12 * sim.Second, 12 * sim.Second}, IF: [2]float64{1.2, 1.2}},
+		{Delta: sim.Seconds(5), Elapsed: []sim.Time{12 * sim.Second, 12 * sim.Second}, IF: []float64{1.2, 1.2}},
+		{Delta: sim.Seconds(-5), Elapsed: []sim.Time{12 * sim.Second, 12 * sim.Second}, IF: []float64{1.2, 1.2}},
 	}
 	if u := g.Unfairness(); u < 0.95 || u > 1.05 {
 		t.Fatalf("symmetric unfairness = %v, want ~1", u)
 	}
 	// First-mover advantage: second app 1.5x slower.
 	g.Points = []DeltaPoint{
-		{Delta: sim.Seconds(5), Elapsed: [2]sim.Time{10 * sim.Second, 15 * sim.Second}, IF: [2]float64{1.0, 1.5}},
-		{Delta: sim.Seconds(-5), Elapsed: [2]sim.Time{15 * sim.Second, 10 * sim.Second}, IF: [2]float64{1.5, 1.0}},
+		{Delta: sim.Seconds(5), Elapsed: []sim.Time{10 * sim.Second, 15 * sim.Second}, IF: []float64{1.0, 1.5}},
+		{Delta: sim.Seconds(-5), Elapsed: []sim.Time{15 * sim.Second, 10 * sim.Second}, IF: []float64{1.5, 1.0}},
 	}
 	if u := g.Unfairness(); u < 1.4 {
 		t.Fatalf("unfair graph metric = %v, want ~1.5", u)
+	}
+	// With a recorded start vector, roles come from actual starts, not the
+	// δ sign: here δ>0 but the offset made app 0 start later, so the ratio
+	// flips to T(app0)/T(app1).
+	g.Points = []DeltaPoint{{
+		Delta:   sim.Seconds(5),
+		Start:   []sim.Time{8 * sim.Second, 0},
+		Elapsed: []sim.Time{15 * sim.Second, 10 * sim.Second},
+		IF:      []float64{1.5, 1.0},
+	}}
+	if u := g.Unfairness(); u < 1.4 {
+		t.Fatalf("start-ordered unfairness = %v, want ~1.5 (app 1 was first)", u)
+	}
+	// Simultaneous starts carry no first-mover information.
+	g.Points = []DeltaPoint{{
+		Delta:   sim.Seconds(5),
+		Start:   []sim.Time{0, 0},
+		Elapsed: []sim.Time{15 * sim.Second, 10 * sim.Second},
+		IF:      []float64{1.5, 1.5},
+	}}
+	if u := g.Unfairness(); u != 1 {
+		t.Fatalf("simultaneous-start unfairness = %v, want neutral 1", u)
+	}
+	// A hand-built point with only IF populated takes the δ-sign fallback
+	// instead of panicking on the absent start vector.
+	g.Points = []DeltaPoint{{Delta: sim.Seconds(5), IF: []float64{1.0, 1.5}}}
+	if u := g.Unfairness(); u != 1.5 {
+		t.Fatalf("IF-only point unfairness = %v, want 1.5 via the fallback", u)
 	}
 }
 

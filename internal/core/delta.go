@@ -2,33 +2,70 @@ package core
 
 import (
 	"fmt"
+	"strings"
 
 	"repro/internal/cluster"
 	"repro/internal/sim"
 )
 
-// DeltaSpec describes a δ-graph experiment: two applications whose burst
-// start times are offset by each δ in Deltas (positive δ: application A
-// starts first and B δ later; negative: B first). Each δ is an independent
-// run on a fresh platform, exactly like the paper's methodology (§III-B).
+// DeltaSpec describes a δ-graph experiment over N applications. The burst
+// start time of application i at a point with offset δ is
+//
+//	StartOffsets[i] + δ   for i > 0
+//	StartOffsets[0]       for i == 0
+//
+// normalized so the earliest application starts at 0. With two applications
+// and zero offsets this is exactly the paper's methodology (§III-B):
+// positive δ means application A starts first and B δ later; negative means
+// B first. StartOffsets (nil = all zero) express fixed staggering between
+// the trailing applications — e.g. a 4-app staggered-arrival scenario — on
+// top of which δ still sweeps the whole trailing set against app 0. Each δ
+// is an independent run on a fresh platform.
 type DeltaSpec struct {
-	Cfg    cluster.Config
-	Apps   [2]AppSpec // Start fields are overwritten per point
-	Deltas []sim.Time
+	Cfg  cluster.Config
+	Apps []AppSpec // Start fields are overwritten per point
+	// StartOffsets[i] is a fixed start offset for application i, added
+	// before the δ shift. nil means all zero; otherwise the length must
+	// equal len(Apps).
+	StartOffsets []sim.Time
+	Deltas       []sim.Time
 }
 
-// DeltaPoint is one δ-graph sample.
+// validate panics on structurally broken specs (the same contract as
+// Prepare, which panics on bad AppSpecs).
+func (s DeltaSpec) validate() {
+	if len(s.Apps) == 0 {
+		panic("core: DeltaSpec needs at least one application")
+	}
+	if s.StartOffsets != nil && len(s.StartOffsets) != len(s.Apps) {
+		panic(fmt.Sprintf("core: DeltaSpec has %d apps but %d start offsets",
+			len(s.Apps), len(s.StartOffsets)))
+	}
+}
+
+// offset returns the fixed start offset of application i.
+func (s DeltaSpec) offset(i int) sim.Time {
+	if s.StartOffsets == nil {
+		return 0
+	}
+	return s.StartOffsets[i]
+}
+
+// DeltaPoint is one δ-graph sample. The slices are indexed by application,
+// in DeltaSpec.Apps order.
 type DeltaPoint struct {
 	Delta      sim.Time
-	Elapsed    [2]sim.Time
-	IF         [2]float64 // interference factor: Elapsed / alone baseline
-	Throughput [2]float64 // bytes per second
+	Start      []sim.Time // normalized burst start times actually used
+	Elapsed    []sim.Time
+	IF         []float64 // interference factor: Elapsed / alone baseline
+	Throughput []float64 // bytes per second
 	Diag       Diag
 }
 
-// DeltaGraph is the full result: alone baselines plus one point per δ.
+// DeltaGraph is the full result: per-app alone baselines (the completion
+// vector of each application running by itself) plus one point per δ.
 type DeltaGraph struct {
-	Alone  [2]sim.Time
+	Alone  []sim.Time
 	Points []DeltaPoint
 }
 
@@ -37,8 +74,9 @@ type DeltaGraph struct {
 // executes the same independent simulations on a worker pool and produces
 // an identical DeltaGraph.
 func RunDelta(spec DeltaSpec) *DeltaGraph {
-	g := &DeltaGraph{}
-	for i := 0; i < 2; i++ {
+	spec.validate()
+	g := &DeltaGraph{Alone: make([]sim.Time, len(spec.Apps))}
+	for i := range spec.Apps {
 		g.Alone[i] = runAlone(spec, i)
 	}
 	for _, d := range spec.Deltas {
@@ -49,7 +87,8 @@ func RunDelta(spec DeltaSpec) *DeltaGraph {
 	return g
 }
 
-// runAlone measures application i running by itself.
+// runAlone measures application i running by itself (start offsets do not
+// apply: a baseline is the application alone on an idle platform).
 func runAlone(spec DeltaSpec, i int) sim.Time {
 	app := spec.Apps[i]
 	app.Start = 0
@@ -58,21 +97,42 @@ func runAlone(spec DeltaSpec, i int) sim.Time {
 	return res.Apps[0].Elapsed
 }
 
-// runPoint measures both applications with B delayed by d relative to A.
+// runPoint measures all applications together with every trailing
+// application (i > 0) shifted by d relative to application 0, on top of the
+// spec's fixed per-app offsets, normalized so the earliest start is 0.
 // IF is left zero: it is the one quantity that needs the alone baselines,
 // so applyAlone fills it in once those are known — which lets a Runner
 // execute points and baselines concurrently.
 func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
-	a, b := spec.Apps[0], spec.Apps[1]
-	if d >= 0 {
-		a.Start, b.Start = 0, d
-	} else {
-		a.Start, b.Start = -d, 0
+	n := len(spec.Apps)
+	apps := make([]AppSpec, n)
+	copy(apps, spec.Apps)
+	min := spec.offset(0)
+	for i := range apps {
+		start := spec.offset(i)
+		if i > 0 {
+			start += d
+		}
+		apps[i].Start = start
+		if start < min {
+			min = start
+		}
 	}
-	x := Prepare(spec.Cfg, []AppSpec{a, b})
+	for i := range apps {
+		apps[i].Start -= min
+	}
+	x := Prepare(spec.Cfg, apps)
 	res := x.Run()
-	pt := DeltaPoint{Delta: d, Diag: res.Diag}
-	for i := 0; i < 2; i++ {
+	pt := DeltaPoint{
+		Delta:      d,
+		Start:      make([]sim.Time, n),
+		Elapsed:    make([]sim.Time, n),
+		IF:         make([]float64, n),
+		Throughput: make([]float64, n),
+		Diag:       res.Diag,
+	}
+	for i := 0; i < n; i++ {
+		pt.Start[i] = apps[i].Start
 		pt.Elapsed[i] = res.Apps[i].Elapsed
 		pt.Throughput[i] = res.Apps[i].Throughput
 	}
@@ -80,21 +140,21 @@ func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
 }
 
 // applyAlone derives the interference factors from the alone baselines.
-func (p *DeltaPoint) applyAlone(alone [2]sim.Time) {
-	for i := 0; i < 2; i++ {
+func (p *DeltaPoint) applyAlone(alone []sim.Time) {
+	for i := range alone {
 		if alone[i] > 0 {
 			p.IF[i] = float64(p.Elapsed[i]) / float64(alone[i])
 		}
 	}
 }
 
-// PeakIF returns the largest interference factor either application sees.
+// PeakIF returns the largest interference factor any application sees.
 func (g *DeltaGraph) PeakIF() float64 {
 	peak := 0.0
 	for _, p := range g.Points {
-		for i := 0; i < 2; i++ {
-			if p.IF[i] > peak {
-				peak = p.IF[i]
+		for _, f := range p.IF {
+			if f > peak {
+				peak = f
 			}
 		}
 	}
@@ -123,32 +183,73 @@ func (g *DeltaGraph) At(d sim.Time) *DeltaPoint {
 }
 
 // Unfairness quantifies the first-mover advantage: the mean, over all
-// overlapping points with δ != 0, of T(second app) / T(first app). A fair
-// (symmetric) δ-graph yields ≈ 1; values well above 1 mean the application
-// entering its I/O phase first wins — the paper's incast signature.
+// overlapping points and all application pairs with distinct burst starts,
+// of IF(later starter) / IF(earlier starter). Normalizing by each
+// application's own alone baseline makes the ratio meaningful for
+// heterogeneous sets (a mouse's raw elapsed is always far below an
+// elephant's, interference or not); for the paper's equal-application
+// figures the alone times coincide and the ratio reduces to
+// T(second)/T(first), the paper's quantity. A fair (symmetric) δ-graph
+// yields ≈ 1; values well above 1 mean the application entering its I/O
+// phase first wins — the paper's incast signature. Roles come from the
+// start times the point actually ran with (so fixed StartOffsets are
+// honored); simultaneous starters have no first mover and are skipped.
 func (g *DeltaGraph) Unfairness() float64 {
 	var sum float64
 	var n int
 	for _, p := range g.Points {
-		if p.Delta == 0 {
+		// Only count points where the bursts actually overlapped: some
+		// app must have seen interference.
+		overlap := false
+		for _, f := range p.IF {
+			if f >= 1.02 {
+				overlap = true
+				break
+			}
+		}
+		if !overlap {
 			continue
 		}
-		first, second := 0, 1
-		if p.Delta < 0 {
-			first, second = 1, 0
+		for i := 0; i < len(p.IF); i++ {
+			for j := i + 1; j < len(p.IF); j++ {
+				first, second, ok := p.order(i, j)
+				if !ok || p.IF[first] <= 0 {
+					continue
+				}
+				sum += p.IF[second] / p.IF[first]
+				n++
+			}
 		}
-		// Only count points where the bursts actually overlapped: the
-		// second app must have seen some interference.
-		if p.IF[second] < 1.02 && p.IF[first] < 1.02 {
-			continue
-		}
-		sum += float64(p.Elapsed[second]) / float64(p.Elapsed[first])
-		n++
 	}
 	if n == 0 {
 		return 1
 	}
 	return sum / float64(n)
+}
+
+// order reports which of applications i and j entered its I/O phase first
+// at this point; ok is false for simultaneous starts (no first mover).
+// Points built by runPoint carry their normalized start vector; hand-built
+// points without one fall back to the paper's rule — the δ sign orders
+// application 0 against the trailing set, and trailing apps are mutually
+// simultaneous.
+func (p *DeltaPoint) order(i, j int) (first, second int, ok bool) {
+	if len(p.Start) > 0 && len(p.Start) == len(p.IF) {
+		switch {
+		case p.Start[i] < p.Start[j]:
+			return i, j, true
+		case p.Start[j] < p.Start[i]:
+			return j, i, true
+		}
+		return 0, 0, false
+	}
+	if p.Delta == 0 || i != 0 {
+		return 0, 0, false
+	}
+	if p.Delta > 0 {
+		return 0, j, true
+	}
+	return j, 0, true
 }
 
 // FlatnessIF reports the peak IF minus 1 — 0 means a perfectly flat
@@ -175,6 +276,10 @@ func sortTimes(ts []sim.Time) {
 }
 
 func (p DeltaPoint) String() string {
-	return fmt.Sprintf("δ=%v A=%v(IF %.2f) B=%v(IF %.2f)",
-		p.Delta, p.Elapsed[0], p.IF[0], p.Elapsed[1], p.IF[1])
+	var b strings.Builder
+	fmt.Fprintf(&b, "δ=%v", p.Delta)
+	for i := range p.Elapsed {
+		fmt.Fprintf(&b, " app%d=%v(IF %.2f)", i, p.Elapsed[i], p.IF[i])
+	}
+	return b.String()
 }

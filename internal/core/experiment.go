@@ -1,12 +1,20 @@
-// Package core is the experiment harness reproducing the paper's
-// methodology: two applications (groups of processes on disjoint compute
-// nodes) perform collective I/O phases against a shared parallel file
-// system while one parameter of the I/O path is varied. The package
+// Package core is the experiment harness reproducing — and generalizing —
+// the paper's methodology: N applications (groups of processes on disjoint
+// compute nodes) perform collective I/O phases against a shared parallel
+// file system while one parameter of the I/O path is varied. The package
 // provides single runs, δ-graphs (the paper's reporting device: the time to
-// complete an I/O phase as a function of the delay δ between the two
-// applications' bursts, each point an independent experiment), interference
-// and fairness metrics, the local disk-level interference experiment of
-// Table I, and tcpdump-like probes for TCP window and progress traces.
+// complete an I/O phase as a function of the delay δ between the leading
+// application's burst and the rest, each point an independent experiment),
+// per-app completion vectors, pairwise interference-factor matrices
+// (RunPairwise), interference and fairness metrics, the local disk-level
+// interference experiment of Table I, and tcpdump-like probes for TCP
+// window and progress traces.
+//
+// The paper itself only ever co-runs two applications; TwoAppSpecs builds
+// that canonical pair, and a two-app DeltaSpec reproduces the paper's
+// figures bit-for-bit. Everything else — DeltaSpec, RunDelta, Runner,
+// RunPairwise — takes an arbitrary application list, which is what the
+// scenario layer (internal/scenario) drives.
 //
 // Every simulation is deterministic and self-contained: Prepare builds a
 // fresh cluster.Platform with its own event engine, so distinct runs share
@@ -253,11 +261,35 @@ func (x *Experiment) collect() RunResult {
 
 // TwoAppSpecs builds the paper's canonical pair of equal applications: each
 // with procs processes at ppn per node, application A on the first half of
-// the node range, B on the second half.
-func TwoAppSpecs(cfg cluster.Config, procs, ppn int, wl workload.Spec) [2]AppSpec {
+// the node range, B on the second half. It is AppSpecs(cfg, 2, ...).
+func TwoAppSpecs(cfg cluster.Config, procs, ppn int, wl workload.Spec) []AppSpec {
+	return AppSpecs(cfg, 2, procs, ppn, wl)
+}
+
+// AppSpecs builds n equal applications of procs processes at ppn per node,
+// packed onto consecutive disjoint node ranges and named "A", "B", "C", …
+// (then "app26", "app27", … beyond the alphabet). It is the N-app analogue
+// of the paper's canonical A/B pair.
+func AppSpecs(cfg cluster.Config, n, procs, ppn int, wl workload.Spec) []AppSpec {
 	nodesPer := (procs + ppn - 1) / ppn
-	return [2]AppSpec{
-		{Name: "A", Procs: procs, FirstNode: 0, ProcsPerNode: ppn, Workload: wl},
-		{Name: "B", Procs: procs, FirstNode: nodesPer, ProcsPerNode: ppn, Workload: wl},
+	out := make([]AppSpec, n)
+	for i := 0; i < n; i++ {
+		out[i] = AppSpec{
+			Name:         AppName(i),
+			Procs:        procs,
+			FirstNode:    i * nodesPer,
+			ProcsPerNode: ppn,
+			Workload:     wl,
+		}
 	}
+	return out
+}
+
+// AppName returns the conventional name of application i: "A".."Z", then
+// "app26", "app27", …
+func AppName(i int) string {
+	if i >= 0 && i < 26 {
+		return string(rune('A' + i))
+	}
+	return fmt.Sprintf("app%d", i)
 }

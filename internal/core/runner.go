@@ -4,6 +4,8 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/sim"
 )
 
 // Runner executes independent simulations on a bounded worker pool. The
@@ -77,20 +79,25 @@ func (r Runner) ForEach(n int, fn func(int)) {
 	wg.Wait()
 }
 
-// RunDelta executes the two alone baselines and every δ point of spec
-// concurrently on the pool. The result is identical to core.RunDelta(spec);
-// see the Runner type comment for why.
+// RunDelta executes every alone baseline (one per application) and every δ
+// point of spec concurrently on the pool. The result is identical to
+// core.RunDelta(spec); see the Runner type comment for why.
 func (r Runner) RunDelta(spec DeltaSpec) *DeltaGraph {
-	g := &DeltaGraph{Points: make([]DeltaPoint, len(spec.Deltas))}
-	// Tasks 0 and 1 are the alone baselines; task 2+i is δ point i. All
-	// 2+len(Deltas) simulations are independent: IF values, the only
+	spec.validate()
+	n := len(spec.Apps)
+	g := &DeltaGraph{
+		Alone:  make([]sim.Time, n),
+		Points: make([]DeltaPoint, len(spec.Deltas)),
+	}
+	// Tasks 0..n-1 are the alone baselines; task n+i is δ point i. All
+	// n+len(Deltas) simulations are independent: IF values, the only
 	// cross-run quantity, are filled in afterwards.
-	r.ForEach(2+len(spec.Deltas), func(t int) {
-		if t < 2 {
+	r.ForEach(n+len(spec.Deltas), func(t int) {
+		if t < n {
 			g.Alone[t] = runAlone(spec, t)
 			return
 		}
-		g.Points[t-2] = runPoint(spec, spec.Deltas[t-2])
+		g.Points[t-n] = runPoint(spec, spec.Deltas[t-n])
 	})
 	for i := range g.Points {
 		g.Points[i].applyAlone(g.Alone)
@@ -103,12 +110,16 @@ func (r Runner) RunDelta(spec DeltaSpec) *DeltaGraph {
 // few series still fills all workers. Results preserve spec order.
 func (r Runner) RunDeltas(specs []DeltaSpec) []*DeltaGraph {
 	graphs := make([]*DeltaGraph, len(specs))
-	// Flatten: per spec, 2 alone tasks plus one per δ.
-	type task struct{ spec, slot int } // slot 0,1 = alone; 2+i = point i
+	// Flatten: per spec, one alone task per application plus one per δ.
+	type task struct{ spec, slot int } // slot < len(Apps) = alone; rest = points
 	var tasks []task
 	for si, sp := range specs {
-		graphs[si] = &DeltaGraph{Points: make([]DeltaPoint, len(sp.Deltas))}
-		for t := 0; t < 2+len(sp.Deltas); t++ {
+		sp.validate()
+		graphs[si] = &DeltaGraph{
+			Alone:  make([]sim.Time, len(sp.Apps)),
+			Points: make([]DeltaPoint, len(sp.Deltas)),
+		}
+		for t := 0; t < len(sp.Apps)+len(sp.Deltas); t++ {
 			tasks = append(tasks, task{si, t})
 		}
 	}
@@ -116,11 +127,11 @@ func (r Runner) RunDeltas(specs []DeltaSpec) []*DeltaGraph {
 		tk := tasks[i]
 		sp := specs[tk.spec]
 		g := graphs[tk.spec]
-		if tk.slot < 2 {
+		if tk.slot < len(sp.Apps) {
 			g.Alone[tk.slot] = runAlone(sp, tk.slot)
 			return
 		}
-		g.Points[tk.slot-2] = runPoint(sp, sp.Deltas[tk.slot-2])
+		g.Points[tk.slot-len(sp.Apps)] = runPoint(sp, sp.Deltas[tk.slot-len(sp.Apps)])
 	})
 	for _, g := range graphs {
 		for i := range g.Points {

@@ -85,12 +85,12 @@ type seriesSpec struct {
 }
 
 // twoApps builds the canonical A/B pair for cfg.
-func twoApps(cfg cluster.Config, wl workload.Spec) [2]core.AppSpec {
+func twoApps(cfg cluster.Config, wl workload.Spec) []core.AppSpec {
 	return core.TwoAppSpecs(cfg, ProcsPerApp(cfg), cfg.CoresPerNode, wl)
 }
 
 // series builds one labeled spec for a figure's task set.
-func series(label string, cfg cluster.Config, apps [2]core.AppSpec, deltas []sim.Time) seriesSpec {
+func series(label string, cfg cluster.Config, apps []core.AppSpec, deltas []sim.Time) seriesSpec {
 	return seriesSpec{Label: label, Spec: core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: deltas}}
 }
 

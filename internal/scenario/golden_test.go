@@ -1,0 +1,142 @@
+package scenario
+
+// Golden-determinism guard for the scenario layer, the sibling of
+// internal/paper's figure checksums: every built-in scenario is run at
+// smoke scale on both HDD and SSD and its complete numeric result — the
+// per-app completion vector, every δ point (elapsed, IF, throughput,
+// diagnostics) and the full pairwise IF matrix — is serialized canonically
+// and hashed into testdata/golden_scenarios.txt.
+//
+// A change to the N-app core, the scenario compiler, the device models or
+// the event kernel that perturbs any of these numbers flips a hash here.
+// Regenerate (after an *intentional* model change only) with:
+//
+//	go test ./internal/scenario -run TestGoldenScenarios -update-golden
+
+import (
+	"crypto/sha256"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_scenarios.txt from the current kernel")
+
+const goldenFile = "testdata/golden_scenarios.txt"
+
+// goldenResult serializes one Result exactly. Times are integer
+// nanoseconds; floats use %.17g, which round-trips float64 bit-for-bit.
+func goldenResult(r *Result) string {
+	var b strings.Builder
+	g := r.Graph
+	fmt.Fprintf(&b, "scenario %s backend %s apps %d\n", r.Spec.Name, r.Backend, len(r.Spec.Apps))
+	for i, a := range g.Alone {
+		fmt.Fprintf(&b, "alone %d %s=%d\n", i, r.Matrix.Names[i], a)
+	}
+	for j, p := range g.Points {
+		fmt.Fprintf(&b, "point %d delta=%d", j, p.Delta)
+		// The normalized start vector guards the offset/δ arithmetic even
+		// at smoke scales where the bursts no longer overlap.
+		for i := range p.Start {
+			fmt.Fprintf(&b, " s%d=%d", i, p.Start[i])
+		}
+		for i := range p.Elapsed {
+			fmt.Fprintf(&b, " e%d=%d if%d=%.17g tp%d=%.17g", i, p.Elapsed[i], i, p.IF[i], i, p.Throughput[i])
+		}
+		d := p.Diag
+		fmt.Fprintf(&b, " drops=%d timeouts=%d retrans=%d seeks=%d devbytes=%d cacheblk=%d events=%d\n",
+			d.PortDrops, d.Timeouts, d.RetransSegs, d.DeviceSeeks, d.DeviceBytes, d.CacheBlocks, d.Events)
+	}
+	for i := range r.Matrix.Cell {
+		fmt.Fprintf(&b, "matrix %d", i)
+		for j := range r.Matrix.Cell[i] {
+			fmt.Fprintf(&b, " %.17g", r.Matrix.Cell[i][j])
+		}
+		fmt.Fprintln(&b)
+	}
+	return b.String()
+}
+
+// goldenKeys enumerates (builtin scenario, backend) pairs; the scenario
+// acceptance axis is HDD and SSD regardless of any pinned spec backend.
+func goldenKeys() (keys []string, gen map[string]func() string) {
+	gen = make(map[string]func() string)
+	pool := core.Runner{Parallelism: 0}
+	for _, s := range Builtin() {
+		for _, backend := range []cluster.BackendKind{cluster.HDD, cluster.SSD} {
+			s, backend := s, backend
+			key := s.Name + "@" + backend.String()
+			keys = append(keys, key)
+			gen[key] = func() string {
+				r, err := Run(s.Smoke(), backend, pool)
+				if err != nil {
+					panic(err)
+				}
+				return goldenResult(r)
+			}
+		}
+	}
+	return keys, gen
+}
+
+func TestGoldenScenarios(t *testing.T) {
+	keys, gen := goldenKeys()
+
+	if *updateGolden {
+		sorted := append([]string(nil), keys...)
+		sort.Strings(sorted)
+		var b strings.Builder
+		b.WriteString("# sha256 of each built-in scenario's canonical result at smoke scale, per backend.\n")
+		b.WriteString("# Regenerate: go test ./internal/scenario -run TestGoldenScenarios -update-golden\n")
+		for _, k := range sorted {
+			fmt.Fprintf(&b, "%s %x\n", k, sha256.Sum256([]byte(gen[k]())))
+		}
+		if err := os.MkdirAll(filepath.Dir(goldenFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d results)", goldenFile, len(keys))
+		return
+	}
+
+	data, err := os.ReadFile(goldenFile)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with -update-golden): %v", goldenFile, err)
+	}
+	want := make(map[string]string)
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("malformed golden line %q", line)
+		}
+		want[fields[0]] = fields[1]
+	}
+	for _, key := range keys {
+		key := key
+		f := gen[key]
+		t.Run(key, func(t *testing.T) {
+			t.Parallel() // scenarios are independent; the pool bounds real work
+			wantSum, ok := want[key]
+			if !ok {
+				t.Fatalf("no golden checksum for %q (regenerate with -update-golden)", key)
+			}
+			text := f()
+			got := fmt.Sprintf("%x", sha256.Sum256([]byte(text)))
+			if got != wantSum {
+				t.Errorf("checksum drift: got %s want %s\ncanonical result was:\n%s", got, wantSum, text)
+			}
+		})
+	}
+}

@@ -1,0 +1,130 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Builtin returns the registry of named scenarios that ship with the
+// repository, in a fixed order. Each one isolates an interference mechanism
+// the paper's two-application campaigns cannot express — more than two
+// co-running applications, mixed read/write modes, asymmetric workload
+// sizes, staggered arrivals, and partitioned server placements. All of them
+// run on the standard backend axis (HDD and SSD) unless pinned.
+//
+// SCENARIOS.md documents every entry: what it models, which mechanism it
+// exercises and what to look for in its δ-graph and IF matrix.
+func Builtin() []Spec {
+	return []Spec{
+		{
+			Name: "strided-pileup-3",
+			Description: "Three strided writers interleave at every server: per-request " +
+				"seek amplification on HDD, absorbed by channel parallelism on flash (SSDChannels=4).",
+			Servers:     4,
+			SSDChannels: 4,
+			DeltaS:      []float64{-15, -5, 0, 5, 15},
+			Apps: []App{
+				{Procs: 32, Pattern: "strided", BlockMB: 16, TransferKB: 256},
+				{Procs: 32, Pattern: "strided", BlockMB: 16, TransferKB: 256},
+				{Procs: 32, Pattern: "strided", BlockMB: 16, TransferKB: 256},
+			},
+		},
+		{
+			Name: "checkpoint-vs-read",
+			Description: "A checkpointing writer against a restart-style reader (mixed mode): " +
+				"write and read streams collide in the server queue and at the device.",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Name: "checkpoint", Procs: 32, BlockMB: 64},
+				{Name: "restart", Procs: 32, BlockMB: 32, Read: true},
+			},
+		},
+		{
+			Name: "elephant-mice",
+			Description: "One bulk writer (elephant) against two small latency-bound apps (mice): " +
+				"the elephant barely notices, the mice see severe IF — the asymmetry a pairwise matrix exposes.",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Name: "elephant", Procs: 32, BlockMB: 128},
+				{Name: "mouse1", Procs: 8, Pattern: "strided", BlockMB: 4, TransferKB: 64},
+				{Name: "mouse2", Procs: 8, Pattern: "strided", BlockMB: 4, TransferKB: 64},
+			},
+		},
+		{
+			Name: "staggered-arrivals-4",
+			Description: "Four identical writers entering their I/O phase 2 s apart: how a burst " +
+				"pile-up builds and drains, and how far δ must stretch before the train decouples.",
+			Servers: 4,
+			DeltaS:  []float64{-20, -5, 0, 5, 20},
+			Apps: []App{
+				{Procs: 16, BlockMB: 16},
+				{Procs: 16, BlockMB: 16, StartS: 2},
+				{Procs: 16, BlockMB: 16, StartS: 4},
+				{Procs: 16, BlockMB: 16, StartS: 6},
+			},
+		},
+		{
+			Name: "shared-servers-4",
+			Description: "Four writers striping over all four servers — the N-app pile-up baseline " +
+				"for partitioned-servers-4.",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Procs: 16, BlockMB: 16},
+				{Procs: 16, BlockMB: 16},
+				{Procs: 16, BlockMB: 16},
+				{Procs: 16, BlockMB: 16},
+			},
+		},
+		{
+			Name: "partitioned-servers-4",
+			Description: "The same four writers, each targeting a private server (the paper's §IV-A6 " +
+				"knob at N=4): interference collapses to the shared network switch.",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Procs: 16, BlockMB: 16, TargetServers: []int{0}},
+				{Procs: 16, BlockMB: 16, TargetServers: []int{1}},
+				{Procs: 16, BlockMB: 16, TargetServers: []int{2}},
+				{Procs: 16, BlockMB: 16, TargetServers: []int{3}},
+			},
+		},
+		{
+			Name: "mixed-transfer",
+			Description: "Two strided writers with 16x different request sizes (1 MiB vs 64 KiB) " +
+				"sharing the stripe: the small-request app pays the per-request costs, the large one wins.",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Name: "large-req", Procs: 16, Pattern: "strided", BlockMB: 16, TransferKB: 1024},
+				{Name: "small-req", Procs: 16, Pattern: "strided", BlockMB: 16, TransferKB: 64},
+			},
+		},
+	}
+}
+
+// Names returns the built-in scenario names, sorted.
+func Names() []string {
+	bs := Builtin()
+	names := make([]string, len(bs))
+	for i, s := range bs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup finds a built-in scenario by name. The error of a miss lists the
+// valid set, mirroring cluster.ParseBackend.
+func Lookup(name string) (Spec, error) {
+	for _, s := range Builtin() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (valid: %s)",
+		name, strings.Join(Names(), ", "))
+}

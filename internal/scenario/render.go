@@ -1,0 +1,79 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/report"
+)
+
+// RenderBaselines tabulates the per-app alone completion vector of a result.
+func RenderBaselines(r *Result) *report.Table {
+	t := report.New(fmt.Sprintf("%s on %s: alone baselines", r.Spec.Name, r.Backend),
+		"app", "procs", "pattern", "alone_s", "start_s")
+	for i, a := range r.Spec.Apps {
+		name := a.Name
+		if name == "" {
+			name = r.Matrix.Names[i]
+		}
+		pattern := a.Pattern
+		if pattern == "" {
+			pattern = "contiguous"
+		}
+		t.Add(name, a.Procs, pattern, r.Graph.Alone[i].Seconds(), a.StartS)
+	}
+	return t
+}
+
+// RenderGraph tabulates the δ-graph: one row per δ, per-app elapsed and IF
+// columns, plus the incast diagnostics.
+func RenderGraph(r *Result) *report.Table {
+	cols := []string{"delta_s"}
+	for _, name := range r.Matrix.Names {
+		cols = append(cols, name+"_s", "IF_"+name)
+	}
+	cols = append(cols, "drops", "timeouts", "seeks")
+	t := report.New(fmt.Sprintf("%s on %s: delta-graph", r.Spec.Name, r.Backend), cols...)
+	for _, p := range r.Graph.Points {
+		row := []interface{}{p.Delta.Seconds()}
+		for i := range p.Elapsed {
+			row = append(row, p.Elapsed[i].Seconds(), p.IF[i])
+		}
+		row = append(row, p.Diag.PortDrops, p.Diag.Timeouts, p.Diag.DeviceSeeks)
+		t.Add(row...)
+	}
+	return t
+}
+
+// RenderMatrix tabulates the pairwise IF matrix: row i, column j holds the
+// interference factor of app i (the victim) co-running with app j (the
+// aggressor) at δ=0; the diagonal is 1 by definition.
+func RenderMatrix(r *Result) *report.Table {
+	m := r.Matrix
+	cols := append([]string{"victim \\ with"}, m.Names...)
+	t := report.New(fmt.Sprintf("%s on %s: pairwise IF matrix", r.Spec.Name, r.Backend), cols...)
+	for i, name := range m.Names {
+		row := []interface{}{name}
+		for j := range m.Names {
+			row = append(row, m.Cell[i][j])
+		}
+		t.Add(row...)
+	}
+	return t
+}
+
+// RenderSummary tabulates one line per (scenario, backend) result: peak IF
+// in the δ-graph, the worst pairwise victim/aggressor, and matrix asymmetry.
+func RenderSummary(results []*Result) *report.Table {
+	t := report.New("scenario summary",
+		"scenario", "backend", "apps", "peak_IF", "unfairness", "worst_pair", "pair_IF", "asymmetry")
+	for _, r := range results {
+		vi, ai, f := r.Matrix.Peak()
+		pair := "-"
+		if r.Matrix.Dim() > 1 {
+			pair = r.Matrix.Names[vi] + "<-" + r.Matrix.Names[ai]
+		}
+		t.Add(r.Spec.Name, r.Backend.String(), len(r.Spec.Apps),
+			r.Graph.PeakIF(), r.Graph.Unfairness(), pair, f, r.Matrix.Asymmetry())
+	}
+	return t
+}

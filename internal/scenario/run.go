@@ -1,0 +1,56 @@
+package scenario
+
+import (
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+// Result is one scenario executed on one backend: the δ-graph over the
+// scenario's grid (with per-app completion vectors and interference
+// factors at every point) plus the pairwise interference-factor matrix of
+// its application set at δ=0.
+type Result struct {
+	Spec    Spec
+	Backend cluster.BackendKind
+	Cfg     cluster.Config
+	Graph   *core.DeltaGraph
+	Matrix  *core.IFMatrix
+}
+
+// Run executes the scenario on one backend: every alone baseline, δ point
+// and pairwise co-run is an independent simulation fanned out on the pool,
+// so results are identical at any pool parallelism.
+func Run(s Spec, backend cluster.BackendKind, pool core.Runner) (*Result, error) {
+	cfg, spec, err := s.Build(backend)
+	if err != nil {
+		return nil, err
+	}
+	// One flattened task set: baselines (shared by graph and matrix), δ
+	// points and pair co-runs all claim pool slots concurrently.
+	graph, matrix := pool.RunDeltaPairwise(spec)
+	return &Result{
+		Spec:    s,
+		Backend: backend,
+		Cfg:     cfg,
+		Graph:   graph,
+		Matrix:  matrix,
+	}, nil
+}
+
+// RunAll executes the scenario on its whole backend axis (HDD and SSD
+// unless the spec pins one), in axis order.
+func RunAll(s Spec, pool core.Runner) ([]*Result, error) {
+	backends, err := s.Backends()
+	if err != nil {
+		return nil, err
+	}
+	out := make([]*Result, 0, len(backends))
+	for _, b := range backends {
+		r, err := Run(s, b, pool)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,361 @@
+// Package scenario is the declarative layer over the N-application
+// experiment core: a JSON-serializable Spec names a platform (node/server
+// counts, backend, sync mode, stripe size), an arbitrary list of
+// applications (pattern, transfer size, queue depth, fixed start offset,
+// targeted servers) and a δ grid, and Run turns it into a δ-graph plus a
+// pairwise interference-factor matrix on a worker pool.
+//
+// The package also carries a registry of built-in scenarios beyond the
+// paper's two-application campaigns — multi-app pile-ups, mixed
+// read/write modes, elephant-and-mice asymmetry, staggered arrivals, and
+// partitioned-versus-shared server placements — each exercising one
+// interference mechanism of the paper on both HDD and SSD backends. See
+// SCENARIOS.md at the repository root for the file format and a guided
+// tour of every built-in.
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/pfs"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// App describes one application of a scenario. Sizes use friendly units
+// (MiB blocks, KiB transfers, seconds/milliseconds) so that hand-written
+// JSON stays readable; Build converts to the core's bytes and sim.Time.
+type App struct {
+	// Name labels the application ("A", "checkpoint", …). Empty picks the
+	// positional default ("A", "B", "C", …).
+	Name string `json:"name,omitempty"`
+	// Procs is the number of processes (required, > 0).
+	Procs int `json:"procs"`
+	// PPN is processes per node; 0 uses the platform's cores per node.
+	PPN int `json:"ppn,omitempty"`
+	// Pattern is "contiguous" (default) or "strided".
+	Pattern string `json:"pattern,omitempty"`
+	// BlockMB is the per-process I/O volume in MiB (required, > 0).
+	BlockMB int64 `json:"block_mb"`
+	// TransferKB is the strided request size in KiB (required for strided).
+	TransferKB int64 `json:"transfer_kb,omitempty"`
+	// QD is the per-process queue depth (0/1 = blocking requests).
+	QD int `json:"qd,omitempty"`
+	// ThinkMS is a fixed client-side cost per request, in milliseconds.
+	ThinkMS float64 `json:"think_ms,omitempty"`
+	// Read makes the phase read instead of write.
+	Read bool `json:"read,omitempty"`
+	// TargetServers stripes this app's file over a server subset
+	// (empty = all servers) — the paper's partitioning knob.
+	TargetServers []int `json:"target_servers,omitempty"`
+	// StripeKB overrides the platform stripe size for this app, in KiB.
+	StripeKB int64 `json:"stripe_kb,omitempty"`
+	// StartS is the app's fixed start offset in seconds, on top of which
+	// the δ shift moves every application but the first (see core.DeltaSpec).
+	StartS float64 `json:"start_s,omitempty"`
+}
+
+// Spec is one declarative scenario. The zero value of every platform field
+// means "use the paper default" (cluster.Default), so a minimal scenario is
+// just a name and an application list.
+type Spec struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Nodes, CoresPerNode and Servers size the platform (0 = paper default).
+	Nodes        int `json:"nodes,omitempty"`
+	CoresPerNode int `json:"cores_per_node,omitempty"`
+	Servers      int `json:"servers,omitempty"`
+
+	// Backend pins the scenario to one backend ("hdd", "ssd", "ram",
+	// "null"); empty runs the scenario on the standard axis (HDD and SSD).
+	Backend string `json:"backend,omitempty"`
+	// Sync is "on" (default), "off" or "null-aio".
+	Sync string `json:"sync,omitempty"`
+	// StripeKB is the file system stripe size in KiB (0 = default 64).
+	StripeKB int64 `json:"stripe_kb,omitempty"`
+	// SSDChannels > 1 selects the channel-parallel flash model when the
+	// scenario runs on the SSD backend (see storage.SSDParams).
+	SSDChannels int `json:"ssd_channels,omitempty"`
+
+	// DeltaS is the δ grid in seconds (empty = {0}): at each point every
+	// application but the first is shifted by δ on top of its start_s.
+	DeltaS []float64 `json:"delta_s,omitempty"`
+
+	Apps []App `json:"apps"`
+}
+
+// patternNames are the valid App.Pattern values.
+var patternNames = []string{"contiguous", "strided"}
+
+// syncNames are the valid Spec.Sync values.
+var syncNames = []string{"on", "off", "null-aio"}
+
+// parsePattern maps an App.Pattern string to the workload kind.
+func parsePattern(s string) (workload.Pattern, error) {
+	switch strings.ToLower(s) {
+	case "", "contiguous", "contig":
+		return workload.Contiguous, nil
+	case "strided":
+		return workload.Strided, nil
+	}
+	return 0, fmt.Errorf("unknown pattern %q (valid: %s)", s, strings.Join(patternNames, ", "))
+}
+
+// parseSync maps a Spec.Sync string to the pfs mode.
+func parseSync(s string) (pfs.SyncMode, error) {
+	switch strings.ToLower(s) {
+	case "", "on":
+		return pfs.SyncOn, nil
+	case "off":
+		return pfs.SyncOff, nil
+	case "null-aio", "nullaio":
+		return pfs.NullAIO, nil
+	}
+	return 0, fmt.Errorf("unknown sync mode %q (valid: %s)", s, strings.Join(syncNames, ", "))
+}
+
+// Validate checks the scenario for structural errors. Every error names the
+// scenario and, where relevant, the offending application, so a bad file in
+// a batch points straight at its line.
+func (s Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	if len(s.Apps) == 0 {
+		return fmt.Errorf("scenario %q: needs at least one app", s.Name)
+	}
+	if s.Backend != "" {
+		if _, err := cluster.ParseBackend(s.Backend); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if _, err := parseSync(s.Sync); err != nil {
+		return fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	if s.Nodes < 0 || s.CoresPerNode < 0 || s.Servers < 0 || s.StripeKB < 0 || s.SSDChannels < 0 {
+		return fmt.Errorf("scenario %q: negative platform parameter", s.Name)
+	}
+	servers := s.Servers
+	if servers == 0 {
+		servers = cluster.Default().Servers
+	}
+	for i, a := range s.Apps {
+		label := a.Name
+		if label == "" {
+			label = core.AppName(i)
+		}
+		if a.Procs <= 0 {
+			return fmt.Errorf("scenario %q app %q: procs must be > 0, got %d", s.Name, label, a.Procs)
+		}
+		if a.BlockMB <= 0 {
+			return fmt.Errorf("scenario %q app %q: block_mb must be > 0, got %d", s.Name, label, a.BlockMB)
+		}
+		pat, err := parsePattern(a.Pattern)
+		if err != nil {
+			return fmt.Errorf("scenario %q app %q: %w", s.Name, label, err)
+		}
+		if pat == workload.Strided {
+			if a.TransferKB <= 0 {
+				return fmt.Errorf("scenario %q app %q: strided pattern needs transfer_kb > 0", s.Name, label)
+			}
+			if (a.BlockMB<<20)%(a.TransferKB<<10) != 0 {
+				return fmt.Errorf("scenario %q app %q: block_mb %d not divisible by transfer_kb %d",
+					s.Name, label, a.BlockMB, a.TransferKB)
+			}
+		}
+		if a.PPN < 0 || a.QD < 0 || a.ThinkMS < 0 || a.StripeKB < 0 || a.StartS < 0 {
+			return fmt.Errorf("scenario %q app %q: negative parameter", s.Name, label)
+		}
+		for _, t := range a.TargetServers {
+			if t < 0 || t >= servers {
+				return fmt.Errorf("scenario %q app %q: target server %d outside the %d-server platform",
+					s.Name, label, t, servers)
+			}
+		}
+	}
+	// A full placement check (apps fitting the node range) needs the built
+	// config; Build performs it via core's AppSpec.Validate.
+	return nil
+}
+
+// Backends returns the backend axis this scenario runs on: the pinned one
+// if Backend is set, otherwise HDD and SSD.
+func (s Spec) Backends() ([]cluster.BackendKind, error) {
+	if s.Backend == "" {
+		return []cluster.BackendKind{cluster.HDD, cluster.SSD}, nil
+	}
+	b, err := cluster.ParseBackend(s.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	return []cluster.BackendKind{b}, nil
+}
+
+// Build compiles the scenario for one backend into a platform config and a
+// core.DeltaSpec. Applications are packed onto consecutive disjoint node
+// ranges in list order; when Nodes is 0 the platform is sized to exactly
+// fit them.
+func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec, error) {
+	if err := s.Validate(); err != nil {
+		return cluster.Config{}, core.DeltaSpec{}, err
+	}
+	cfg := cluster.Default()
+	cfg.Backend = backend
+	if s.Nodes > 0 {
+		cfg.ComputeNodes = s.Nodes
+	}
+	if s.CoresPerNode > 0 {
+		cfg.CoresPerNode = s.CoresPerNode
+	}
+	if s.Servers > 0 {
+		cfg.Servers = s.Servers
+	}
+	if s.StripeKB > 0 {
+		cfg.StripeSize = s.StripeKB << 10
+	}
+	if s.SSDChannels > 0 {
+		cfg.SSD.Channels = s.SSDChannels
+	}
+	mode, err := parseSync(s.Sync)
+	if err != nil {
+		return cluster.Config{}, core.DeltaSpec{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+	}
+	cfg.Sync = mode
+
+	spec := core.DeltaSpec{Cfg: cfg}
+	node := 0
+	for i, a := range s.Apps {
+		ppn := a.PPN
+		if ppn == 0 {
+			ppn = cfg.CoresPerNode
+		}
+		name := a.Name
+		if name == "" {
+			name = core.AppName(i)
+		}
+		pat, _ := parsePattern(a.Pattern) // validated above
+		app := core.AppSpec{
+			Name:         name,
+			Procs:        a.Procs,
+			FirstNode:    node,
+			ProcsPerNode: ppn,
+			Workload: workload.Spec{
+				Pattern:      pat,
+				BlockBytes:   a.BlockMB << 20,
+				TransferSize: a.TransferKB << 10,
+				QD:           a.QD,
+				ThinkTime:    int64(a.ThinkMS * float64(sim.Millisecond)),
+				Read:         a.Read,
+			},
+			TargetServers: a.TargetServers,
+			Stripe:        a.StripeKB << 10,
+		}
+		node += (a.Procs + ppn - 1) / ppn
+		spec.Apps = append(spec.Apps, app)
+		spec.StartOffsets = append(spec.StartOffsets, sim.Seconds(a.StartS))
+	}
+	if s.Nodes == 0 {
+		cfg.ComputeNodes = node
+		spec.Cfg = cfg
+	}
+	for _, a := range spec.Apps {
+		if err := a.Validate(spec.Cfg); err != nil {
+			return cluster.Config{}, core.DeltaSpec{}, fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	}
+	if len(s.DeltaS) == 0 {
+		spec.Deltas = []sim.Time{0}
+	} else {
+		for _, d := range s.DeltaS {
+			spec.Deltas = append(spec.Deltas, sim.Seconds(d))
+		}
+	}
+	return spec.Cfg, spec, nil
+}
+
+// Smoke returns a shrunken copy for CI smoke runs and golden tests:
+// process counts divided by 8, per-process volume by 16, the δ grid
+// reduced to at most three points (the two extremes plus zero), and the
+// time axes — δ values and fixed start offsets — divided by the combined
+// load shrink (8×16). Completion times scale roughly with per-server load,
+// so scaling the time axes by the same factor preserves the arrival
+// geometry: bursts that overlap at full size still overlap at smoke size,
+// and every interference mechanism exercises the same code path, only
+// smaller.
+func (s Spec) Smoke() Spec {
+	// procs/8 × volume/16 shrinks per-server load — and with it burst
+	// durations — by ~128, so δ and start_s shrink by the same factor.
+	const timeDiv = 8 * 16
+	out := s
+	out.Apps = make([]App, len(s.Apps))
+	for i, a := range s.Apps {
+		a.Procs = max(2, a.Procs/8)
+		a.BlockMB = max(1, a.BlockMB/16)
+		a.StartS /= timeDiv
+		if pat, err := parsePattern(a.Pattern); err == nil && pat == workload.Strided &&
+			a.TransferKB > 0 && (a.BlockMB<<20)%(a.TransferKB<<10) != 0 {
+			// Keep divisibility after shrinking: fall back to one request
+			// per block.
+			a.TransferKB = a.BlockMB << 10
+		}
+		out.Apps[i] = a
+	}
+	ds := s.DeltaS
+	if n := len(ds); n > 3 {
+		cut := []float64{ds[0]}
+		for _, d := range ds {
+			if d == 0 && ds[0] != 0 {
+				cut = append(cut, 0)
+				break
+			}
+		}
+		if last := ds[n-1]; last != cut[len(cut)-1] {
+			cut = append(cut, last)
+		}
+		ds = cut
+	}
+	out.DeltaS = make([]float64, len(ds))
+	for i, d := range ds {
+		out.DeltaS[i] = d / timeDiv
+	}
+	// Nodes: re-derive from the shrunken apps when the original pinned a
+	// node count (auto-sized scenarios re-fit in Build anyway).
+	if s.Nodes > 0 {
+		out.Nodes = 0
+	}
+	return out
+}
+
+// Parse decodes one scenario from JSON, rejecting unknown fields (a typo'd
+// knob should fail loudly, not silently run the default).
+func Parse(data []byte) (Spec, error) {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return Spec{}, fmt.Errorf("scenario: parsing spec: %w", err)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// Load reads and parses one scenario file.
+func Load(path string) (Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return Spec{}, fmt.Errorf("scenario: %w", err)
+	}
+	s, err := Parse(data)
+	if err != nil {
+		return Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -50,9 +50,10 @@ type Device interface {
 	Name() string
 	// Submit enqueues a request; r.Done fires at completion.
 	Submit(r *Request)
-	// Queued returns the number of requests waiting or in service.
+	// Queued returns the number of requests waiting to enter service
+	// (requests currently in service are excluded).
 	Queued() int
-	// QueuedBytes returns the bytes waiting or in service.
+	// QueuedBytes returns the bytes of the waiting requests.
 	QueuedBytes() int64
 	// Stats returns cumulative counters.
 	Stats() Stats

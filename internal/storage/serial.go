@@ -75,23 +75,6 @@ func (d *serial) serveNext() {
 	d.e.ScheduleCall(dur, d, 0, 0, 0)
 }
 
-// SSDParams configures the flash device model.
-type SSDParams struct {
-	BW          float64  // bytes/second
-	OpLat       sim.Time // per-request latency
-	RandPenalty sim.Time // extra cost for non-contiguous requests
-}
-
-// DefaultSSD approximates the paper's SSDs (2 GB alone in 2.27 s ≈ 880 MB/s).
-func DefaultSSD() SSDParams {
-	return SSDParams{BW: 900e6, OpLat: 90 * sim.Microsecond, RandPenalty: 25 * sim.Microsecond}
-}
-
-// NewSSD returns an SSD device.
-func NewSSD(e *sim.Engine, p SSDParams) Device {
-	return &serial{e: e, name: "ssd", bw: p.BW, opLat: p.OpLat, randPenalty: p.RandPenalty}
-}
-
 // RAMParams configures the memory-backed device model (tmpfs).
 type RAMParams struct {
 	BW    float64
