@@ -3,9 +3,9 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_2.json
+BENCH_OUT ?= BENCH_4.json
 
-.PHONY: test race bench scenarios
+.PHONY: test race bench scenarios mitigate
 
 # Tier-1: everything, full grids.
 test:
@@ -23,20 +23,28 @@ race:
 scenarios:
 	$(GO) run ./cmd/scenarios -smoke -run all
 
+# mitigate sweeps every built-in scenario on HDD under each server-side QoS
+# scheduler ({off, fairshare, tokenbucket, controller}, internal/qos) at the
+# smoke scale and prints the per-scenario Pareto view — the same grid the
+# mitigation golden test pins, so a broken scheduler fails fast on every
+# push.
+mitigate:
+	$(GO) run ./cmd/paperrepro -exp mitigate -scale 8
+
 # bench runs the simulator microbenchmarks plus one figure-level campaign
 # bench and writes the combined `go test -json` stream to $(BENCH_OUT).
 # The stream embeds standard benchmark lines, so it stays
 # benchstat-comparable:
 #
-#	jq -r 'select(.Action=="output") | .Output' BENCH_2.json | benchstat -
+#	jq -r 'select(.Action=="output") | .Output' BENCH_4.json | benchstat -
 #
 # Compare two snapshots by extracting each to text first:
 #
 #	jq -r 'select(.Action=="output") | .Output' OLD.json > old.txt
-#	jq -r 'select(.Action=="output") | .Output' BENCH_2.json > new.txt
+#	jq -r 'select(.Action=="output") | .Output' BENCH_4.json > new.txt
 #	benchstat old.txt new.txt
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineEventThroughput|BenchmarkTransportThroughput|BenchmarkHDDElevator' \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineEventThroughput|BenchmarkTransportThroughput|BenchmarkHDDElevator|BenchmarkFairShareScheduler' \
 		-benchmem -benchtime 0.5s -count 5 -json . > $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure2SyncOn$$' \
 		-benchmem -benchtime 1x -count 3 -json . >> $(BENCH_OUT)

@@ -26,6 +26,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/paper"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	"repro/internal/workload"
@@ -311,4 +312,30 @@ func BenchmarkHDDElevator(b *testing.B) {
 	}
 	e.Run()
 	b.SetBytes(256 << 10)
+}
+
+// BenchmarkFairShareScheduler measures one grant decision of the
+// deficit-round-robin QoS scheduler over a 64-request queue from four
+// applications — the per-grant cost a QoS-enabled server adds to its pump
+// loop. Steady state must not allocate (b.ReportAllocs makes a regression
+// loud).
+func BenchmarkFairShareScheduler(b *testing.B) {
+	tel := qos.NewTelemetry(nil)
+	tel.Arrive(0, 1<<20)
+	tel.Arrive(1, 1<<20)
+	s := qos.New(nil, qos.Params{Kind: qos.FairShare}, tel)
+	q := make([]qos.Request, 64)
+	for i := range q {
+		size := int64(64 << 10)
+		if i%4 == 0 {
+			size = 1 << 20 // one elephant stream among small requests
+		}
+		q[i] = qos.Request{App: i % 4, Issued: sim.Time(i), Bytes: size}
+	}
+	s.Pick(0, q) // warm per-application state
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Pick(sim.Time(i), q)
+	}
 }

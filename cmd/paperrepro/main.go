@@ -11,10 +11,14 @@
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6 (includes table2),
 // fig7, fig8, fig9, fig10, fig11, fig12, ablation-policy, ablation-read.
 // Beyond the paper, "scenarios" runs every built-in N-application scenario
-// (see SCENARIOS.md) on HDD and SSD. Note: for this experiment any
-// -scale > 1 selects the fixed smoke grid (procs/8, volume/16, ≤3 δ
-// points) rather than acting as a divisor; cmd/scenarios is the richer
-// driver (-run, -file, -backend, -smoke).
+// (see SCENARIOS.md) on HDD and SSD, and "mitigate" sweeps every built-in
+// scenario on HDD under each server-side QoS scheduler — off, fairshare,
+// tokenbucket, controller (internal/qos) — and prints the per-scenario
+// Pareto view: interference removed versus aggregate throughput paid.
+// Note: for these two experiments any -scale > 1 selects the fixed smoke
+// grid (procs/8, volume/16, ≤3 δ points) rather than acting as a divisor;
+// cmd/scenarios is the richer single-scheduler driver (-run, -file,
+// -backend, -smoke, -qos).
 //
 // -scale divides node/server counts (processes per server stay constant);
 // -coarse uses 5-point δ grids instead of the paper's 9-point grids;
@@ -43,6 +47,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/paper"
 	"repro/internal/pfs"
+	qosreport "repro/internal/qos/report"
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/workload"
@@ -56,7 +61,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
@@ -236,6 +241,10 @@ func (r *runner) one(id string) error {
 		if err := r.scenarios(); err != nil {
 			return err
 		}
+	case "mitigate":
+		if err := r.mitigate(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -262,6 +271,34 @@ func (r *runner) scenarios() error {
 		}
 	}
 	r.emit(scenario.RenderSummary(all))
+	return nil
+}
+
+// mitigate sweeps every built-in scenario on HDD under the standard QoS
+// scheme set and emits, per scenario, the Pareto table (plus the raw
+// per-scheme δ-graphs) and a campaign summary. -scale > 1 selects the
+// smoke grid, like the scenarios experiment.
+func (r *runner) mitigate() error {
+	schemes := core.StandardSchemes()
+	var titles []string
+	var sweeps []*core.Sweep
+	for _, s := range scenario.Builtin() {
+		if r.scale > 1 {
+			s = s.Smoke()
+		}
+		sw, err := scenario.Sweep(s, cluster.HDD, schemes, paper.Pool)
+		if err != nil {
+			return err
+		}
+		names := scenario.AppNames(s)
+		titles = append(titles, s.Name)
+		sweeps = append(sweeps, sw)
+		r.emit(
+			qosreport.RenderPareto(fmt.Sprintf("%s on hdd: mitigation Pareto view", s.Name), sw),
+			qosreport.RenderSweepGraphs(fmt.Sprintf("%s on hdd: per-scheme delta-graphs", s.Name), sw, names),
+		)
+	}
+	r.emit(qosreport.RenderSummary(titles, sweeps))
 	return nil
 }
 

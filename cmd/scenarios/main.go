@@ -11,6 +11,12 @@
 //	scenarios -file my_scenario.json         # run a hand-written spec
 //	scenarios -smoke -run all                # the CI smoke grid (tiny)
 //	scenarios -backend ssd -tsv              # one backend, machine-readable
+//	scenarios -qos fairshare -run aggressor-victim   # under a QoS scheduler
+//
+// -qos runs every selected scenario with the named server-side QoS
+// scheduler (off, fairshare, tokenbucket, controller) at its calibrated
+// defaults, overriding any qos block in the spec; paperrepro -exp mitigate
+// sweeps all schedulers side by side.
 //
 // Every alone baseline, δ point and pairwise co-run is an independent
 // simulation; -j bounds how many run concurrently (default GOMAXPROCS).
@@ -27,6 +33,7 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/qos"
 	"repro/internal/report"
 	"repro/internal/scenario"
 )
@@ -45,10 +52,17 @@ func realMain() error {
 		file    = flag.String("file", "", "run a scenario spec from a JSON `file` instead of the registry")
 		backend = flag.String("backend", "", "run on one backend only (hdd, ssd, ram, null); default: the scenario's axis (hdd+ssd)")
 		smoke   = flag.Bool("smoke", false, "shrink every scenario to the CI smoke grid")
+		qosName = flag.String("qos", "", "run under a server-side QoS `scheduler` (off, fairshare, tokenbucket, controller), overriding the spec")
 		tsv     = flag.Bool("tsv", false, "TSV output instead of aligned tables")
 		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	)
 	flag.Parse()
+
+	if *qosName != "" {
+		if _, err := qos.ParseKind(*qosName); err != nil {
+			return err
+		}
+	}
 
 	if *list {
 		t := report.New("built-in scenarios", "name", "apps", "backend", "description")
@@ -81,6 +95,9 @@ func realMain() error {
 	for _, s := range specs {
 		if *smoke {
 			s = s.Smoke()
+		}
+		if *qosName != "" {
+			s.QoS = &scenario.QoS{Scheduler: *qosName}
 		}
 		axis := backends
 		if axis == nil {

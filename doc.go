@@ -11,9 +11,16 @@
 // with per-app start offsets, pairwise interference-factor matrices
 // summarize who hurts whom, and a declarative scenario layer
 // (internal/scenario, cmd/scenarios) runs named N-app scenarios on HDD and
-// SSD. See README.md for a tour, DESIGN.md for the system inventory,
-// EXPERIMENTS.md for paper-versus-measured results and SCENARIOS.md for
-// the scenario engine.
+// SSD. A server-side QoS subsystem (internal/qos) turns every scenario
+// into a before/after mitigation experiment: pluggable schedulers —
+// deficit-round-robin fair sharing, token-bucket throttling, a feedback
+// congestion controller over LASSi-style telemetry — slot between the file
+// system's flow layer and the device, and core.RunMitigationSweep (with
+// paperrepro -exp mitigate) reports each scheme's interference reduction
+// against its aggregate-throughput cost. See README.md for a tour,
+// DESIGN.md for the system inventory, EXPERIMENTS.md for
+// paper-versus-measured results and SCENARIOS.md for the scenario engine
+// and the mitigation Pareto view.
 //
 // δ-graph campaigns are embarrassingly parallel — every alone baseline,
 // δ point and figure series is an independent simulation on its own

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/qos"
+)
+
+// Scheme is one arm of a mitigation sweep: a display label plus the QoS
+// parameters every storage server runs with.
+type Scheme struct {
+	Name string
+	QoS  qos.Params
+}
+
+// StandardSchemes returns the canonical sweep arms — the un-mitigated
+// baseline plus every built-in scheduler at its calibrated defaults:
+// {off, fairshare, tokenbucket, controller}. The baseline is first by
+// convention; Sweep.Pareto measures every arm against arm 0.
+func StandardSchemes() []Scheme {
+	kinds := []qos.Kind{qos.Off, qos.FairShare, qos.TokenBucket, qos.Controller}
+	out := make([]Scheme, len(kinds))
+	for i, k := range kinds {
+		out[i] = Scheme{Name: k.String(), QoS: qos.Params{Kind: k}}
+	}
+	return out
+}
+
+// Sweep is the result of one mitigation sweep: the same δ-graph experiment
+// repeated under each scheme, Graphs parallel to Schemes. Each arm is fully
+// self-consistent — its alone baselines run under the same QoS
+// configuration, so an arm's interference factors isolate *interference*
+// (co-running cost) from the scheme's standalone overhead; the overhead
+// shows up in Pareto's aggregate-throughput column instead.
+type Sweep struct {
+	Schemes []Scheme
+	Graphs  []*DeltaGraph
+}
+
+// RunMitigationSweep executes spec once per scheme, all arms' baselines
+// and δ points flattened onto one worker pool. Results are deterministic
+// and byte-identical at any parallelism (see Runner).
+func (r Runner) RunMitigationSweep(spec DeltaSpec, schemes []Scheme) *Sweep {
+	if len(schemes) == 0 {
+		panic("core: RunMitigationSweep needs at least one scheme")
+	}
+	specs := make([]DeltaSpec, len(schemes))
+	for i, sc := range schemes {
+		if err := sc.QoS.Validate(); err != nil {
+			panic(fmt.Sprintf("core: scheme %q: %v", sc.Name, err))
+		}
+		s := spec
+		s.Cfg.Srv.QoS = sc.QoS
+		specs[i] = s
+	}
+	return &Sweep{
+		Schemes: append([]Scheme(nil), schemes...),
+		Graphs:  r.RunDeltas(specs),
+	}
+}
+
+// ParetoRow summarizes one sweep arm against the baseline arm (index 0):
+// how much interference the scheme removes and what it costs in aggregate
+// throughput — the two axes of the mitigation trade-off.
+type ParetoRow struct {
+	Name string
+	// PeakIF is the arm's peak interference factor over all δ points and
+	// applications; IFReductionPct is its reduction relative to the
+	// baseline arm (positive = less interference).
+	PeakIF         float64
+	IFReductionPct float64
+	// Unfairness is the arm's first-mover advantage (DeltaGraph.Unfairness).
+	Unfairness float64
+	// AggBps is the mean over δ points of the applications' summed
+	// throughput (bytes/second); TPCostPct is the aggregate throughput
+	// given up relative to the baseline arm (positive = slower overall).
+	AggBps    float64
+	TPCostPct float64
+}
+
+// aggBps returns the mean over points of the per-point aggregate
+// throughput (sum of the applications' bytes/second).
+func aggBps(g *DeltaGraph) float64 {
+	if len(g.Points) == 0 {
+		return 0
+	}
+	var total float64
+	for _, p := range g.Points {
+		for _, tp := range p.Throughput {
+			total += tp
+		}
+	}
+	return total / float64(len(g.Points))
+}
+
+// Pareto derives the per-scheme summary rows, each measured against the
+// sweep's first arm (conventionally "off").
+func (s *Sweep) Pareto() []ParetoRow {
+	rows := make([]ParetoRow, len(s.Schemes))
+	basePeak := s.Graphs[0].PeakIF()
+	baseAgg := aggBps(s.Graphs[0])
+	for i, g := range s.Graphs {
+		r := ParetoRow{
+			Name:       s.Schemes[i].Name,
+			PeakIF:     g.PeakIF(),
+			Unfairness: g.Unfairness(),
+			AggBps:     aggBps(g),
+		}
+		if basePeak > 0 {
+			r.IFReductionPct = (basePeak - r.PeakIF) / basePeak * 100
+		}
+		if baseAgg > 0 {
+			r.TPCostPct = (baseAgg - r.AggBps) / baseAgg * 100
+		}
+		rows[i] = r
+	}
+	return rows
+}

@@ -15,7 +15,9 @@ package paper
 // long before a qualitative shape test notices. Regenerate (after an
 // *intentional* model change only) with:
 //
-//	go test ./internal/paper -run TestGoldenDeterminism -update-golden
+//	go test ./internal/paper -run TestGoldenDeterminism -update
+//
+// (-update-golden is the long spelling of the same flag.)
 
 import (
 	"crypto/sha256"
@@ -31,7 +33,14 @@ import (
 	"repro/internal/netsim"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_checksums.txt from the current kernel")
+var (
+	updateGoldenLong  = flag.Bool("update-golden", false, "rewrite testdata/golden_checksums.txt from the current kernel")
+	updateGoldenShort = flag.Bool("update", false, "alias for -update-golden")
+)
+
+// updateGolden reports whether this run should rewrite the golden file
+// instead of checking it (either spelling of the flag).
+func updateGolden() bool { return *updateGoldenLong || *updateGoldenShort }
 
 const goldenFile = "testdata/golden_checksums.txt"
 
@@ -153,7 +162,7 @@ func readGolden(t *testing.T) map[string]string {
 func TestGoldenDeterminism(t *testing.T) {
 	cases := goldenCases()
 
-	if *updateGolden {
+	if updateGolden() {
 		keys := make([]string, 0, len(cases))
 		for k := range cases {
 			keys = append(keys, k)

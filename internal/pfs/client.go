@@ -103,7 +103,14 @@ func (cl *Client) ioAsync(f *File, off, size int64, read bool, onDone func()) {
 	for _, p := range plans {
 		srv := f.servers[p.pos]
 		conn := cl.ConnTo(srv)
-		st := &srvReqState{remaining: len(p.chunks), issued: cl.fs.jitteredIssue()}
+		var bytes int64
+		for _, ck := range p.chunks {
+			bytes += ck.Size
+		}
+		st := &srvReqState{
+			remaining: len(p.chunks), bytes: bytes,
+			issued: cl.fs.jitteredIssue(),
+		}
 		for _, ck := range p.chunks {
 			meta := &chunkMsg{
 				req: req, srvState: st, fileID: f.locals[p.pos],

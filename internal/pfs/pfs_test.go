@@ -20,12 +20,22 @@ type rig struct {
 }
 
 // buildRig assembles nServers servers ("ram" or "hdd" backends) and
-// nClientHosts client hosts on a 1.25 GB/s fabric.
+// nClientHosts client hosts on a 1.25 GB/s fabric with default server
+// parameters.
 func buildRig(nServers, nClientHosts int, devKind string, mode SyncMode) *rig {
-	e := sim.NewEngine()
-	fab := netsim.NewFabric(e, netsim.DefaultParams())
 	sp := DefaultServerParams()
 	sp.Sync = mode
+	return buildRigParams(nServers, nClientHosts, devKind, sp)
+}
+
+// buildRigParams is buildRig with explicit server parameters — the way a
+// test serializes the flow layer (FlowBufs) or selects a scheduling
+// discipline (Policy, QoS). Parameters must be chosen here, at
+// construction: NewServer derives the scheduler and the flow-slot count
+// from them, so mutating srv.P afterwards has no effect.
+func buildRigParams(nServers, nClientHosts int, devKind string, sp ServerParams) *rig {
+	e := sim.NewEngine()
+	fab := netsim.NewFabric(e, netsim.DefaultParams())
 	var servers []*Server
 	r := &rig{e: e, fabric: fab}
 	for i := 0; i < nServers; i++ {
@@ -38,7 +48,7 @@ func buildRig(nServers, nClientHosts int, devKind string, mode SyncMode) *rig {
 			dev = storage.NewRAM(e, storage.DefaultRAM())
 		}
 		var cache *storage.WriteCache
-		if mode == SyncOff {
+		if sp.Sync == SyncOff {
 			cache = storage.NewWriteCache(e, storage.DefaultCache(), dev)
 		}
 		servers = append(servers, NewServer(e, i, h, dev, cache, sp))

@@ -10,14 +10,15 @@ import (
 
 // policyRig builds one slow-disk server with the given scheduling policy
 // and two single-client applications, B delayed by delta. It returns each
-// application's completion time.
+// application's completion time. The single flow slot (FlowBufs=1,
+// a construction-time ServerParams knob) serializes requests so the
+// scheduling order is visible in the completion times.
 func policyRig(t *testing.T, pol ReadPolicy, delta sim.Time) (aDone, bDone sim.Time) {
 	t.Helper()
-	r := buildRig(1, 2, "hdd", SyncOn)
-	srv := r.fs.Servers[0]
-	srv.P.Policy = pol
-	srv.P.FlowBufs = 1 // serialize requests so ordering is visible
-	srv.freeFlows = 1
+	sp := DefaultServerParams()
+	sp.Policy = pol
+	sp.FlowBufs = 1
+	r := buildRigParams(1, 2, "hdd", sp)
 
 	fA := r.fs.CreateFile("a", nil, 64<<10)
 	fB := r.fs.CreateFile("b", nil, 64<<10)
@@ -51,11 +52,10 @@ func TestPolicyAppOrderedPrefersLowApp(t *testing.T) {
 	// Even when B starts first, app-ordered servers prefer app 0.
 	// (B issues its first request before A exists, so B's initial request
 	// may slip in, but A must still finish well before B.)
-	r := buildRig(1, 2, "hdd", SyncOn)
-	srv := r.fs.Servers[0]
-	srv.P.Policy = ReadAppOrdered
-	srv.P.FlowBufs = 1
-	srv.freeFlows = 1
+	sp := DefaultServerParams()
+	sp.Policy = ReadAppOrdered
+	sp.FlowBufs = 1
+	r := buildRigParams(1, 2, "hdd", sp)
 	fA := r.fs.CreateFile("a", nil, 64<<10)
 	fB := r.fs.CreateFile("b", nil, 64<<10)
 	clA := r.fs.NewClient(r.cliHost[0], 0)

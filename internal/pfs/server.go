@@ -2,6 +2,7 @@ package pfs
 
 import (
 	"repro/internal/netsim"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/storage"
 )
@@ -77,8 +78,16 @@ type ServerParams struct {
 	CPUBytesPerSec float64
 	// RespBytes is the size of the reply message.
 	RespBytes int64
-	// Policy selects the request scheduling policy (default FIFO).
+	// Policy selects the legacy request scheduling policy (default FIFO).
+	// It only applies while QoS is off.
 	Policy ReadPolicy
+	// QoS selects and tunes a server-side QoS scheduler (see internal/qos).
+	// The zero value (qos.Off) keeps the legacy Policy path, which is
+	// bit-identical to the pre-QoS server. An active scheduler may
+	// override FlowBufs via its FlowSlots knob; its pipeline lever
+	// (qos.Params.InflightChunks) acts per application through the
+	// DepthAdvisor, on top of the unchanged per-flow FlowDepth.
+	QoS qos.Params
 }
 
 // DefaultServerParams models OrangeFS 2.8.3 on the paper's hardware.
@@ -106,7 +115,10 @@ type ServerStats struct {
 
 // Server is one PVFS storage daemon: a host on the fabric, a CPU, a flow
 // layer serving at most FlowBufs requests concurrently, and a backend
-// (device, cache or null).
+// (device, cache or null). Which queued request gets a free flow slot is
+// decided by a qos.Scheduler: the legacy ReadPolicy disciplines when QoS is
+// off, or one of the mitigation schedulers (fair-share, token-bucket,
+// feedback controller) when ServerParams.QoS selects it.
 type Server struct {
 	E    *sim.Engine
 	ID   int
@@ -117,12 +129,28 @@ type Server struct {
 	Dev storage.Device
 	// Cache is the write-back cache (used with SyncOff; nil otherwise).
 	Cache *storage.WriteCache
+	// Tel is the server's telemetry probe layer: per-application request,
+	// queue and byte counters plus the device view. Always on (the
+	// counters are cheap); QoS schedulers and tests read it.
+	Tel *qos.Telemetry
 
 	cpu        *sim.Line
 	freeFlows  int
 	reqQueue   []*srvReqState
 	nextFileID storage.FileID
-	lastApp    int // last application granted a flow (round-robin policy)
+	sched      qos.Scheduler
+	adv        qos.DepthAdvisor // s.sched's depth lever, nil if not offered
+	qview      []qos.Request    // reusable scheduler view of reqQueue
+	// activeReqs lists the requests currently holding flow slots, in grant
+	// order — maintained only when a depth advisor is active, so that an
+	// application's budget-blocked requests can resume when any of its
+	// chunks completes. nil on the legacy path (zero overhead).
+	activeReqs []*srvReqState
+
+	// wakeArmed/wakeAt bound the retry events a throttling scheduler asks
+	// for: at most one useful wake-up is in flight at a time.
+	wakeArmed bool
+	wakeAt    sim.Time
 
 	stats ServerStats
 }
@@ -133,18 +161,53 @@ func NewServer(e *sim.Engine, id int, host *netsim.Host, dev storage.Device, cac
 	if p.FlowBufs <= 0 {
 		p.FlowBufs = 1
 	}
+	if err := p.QoS.Validate(); err != nil {
+		panic("pfs: " + err.Error())
+	}
+	// A QoS block may serialize the flow layer — admission control only
+	// shapes traffic when the flow slots actually arbitrate — and the knob
+	// is honored for Off too, so a baseline arm can be serialized the same
+	// way as the scheduler it is compared against.
+	if eff := p.QoS.WithDefaults(); eff.FlowSlots > 0 {
+		p.FlowBufs = eff.FlowSlots
+	}
 	if p.Sync == SyncOff && cache == nil {
 		panic("pfs: SyncOff requires a write cache")
 	}
-	return &Server{
+	s := &Server{
 		E: e, ID: id, Host: host, P: p, Dev: dev, Cache: cache,
 		cpu:       &sim.Line{E: e, Rate: p.CPUBytesPerSec, PerOp: p.CPUPerChunk},
 		freeFlows: p.FlowBufs,
 	}
+	s.Tel = qos.NewTelemetry(dev)
+	if p.QoS.Kind != qos.Off {
+		s.sched = qos.New(e, p.QoS, s.Tel)
+		s.adv, _ = s.sched.(qos.DepthAdvisor)
+	} else {
+		switch p.Policy {
+		case ReadAppOrdered:
+			s.sched = qos.NewAppOrdered()
+		case ReadRoundRobin:
+			s.sched = qos.NewRoundRobin()
+		default:
+			s.sched = qos.NewFIFO()
+		}
+	}
+	return s
 }
 
 // Stats returns cumulative counters.
 func (s *Server) Stats() ServerStats { return s.stats }
+
+// AppDepth reports the active scheduler's current in-flight chunk budget
+// for app — 0 when unbounded or when the scheduler has no depth lever. A
+// diagnostic for tests and probes.
+func (s *Server) AppDepth(app int) int {
+	if s.adv == nil {
+		return 0
+	}
+	return s.adv.AppDepth(app)
+}
 
 // FreeFlows returns the number of idle flow slots.
 func (s *Server) FreeFlows() int { return s.freeFlows }
@@ -170,6 +233,7 @@ func (s *Server) onReadable(c *netsim.Conn, m *netsim.Message) {
 		st.arrived = true
 		st.conn = c
 		s.stats.Requests++
+		s.Tel.Arrive(c.App, st.bytes)
 		s.reqQueue = append(s.reqQueue, st)
 		if len(s.reqQueue) > s.stats.MaxQueued {
 			s.stats.MaxQueued = len(s.reqQueue)
@@ -182,51 +246,47 @@ func (s *Server) onReadable(c *netsim.Conn, m *netsim.Message) {
 	s.pump()
 }
 
-// pickRequest returns the index of the next request under the policy.
-//
-// FIFO orders by request *issue* time, not data arrival: PVFS learns about
-// a request from its small descriptor message, which reaches the server
-// long before the bulk data fights its way through a congested fabric.
-// All policies preserve per-connection message order within an application.
-func (s *Server) pickRequest() int {
-	switch s.P.Policy {
-	case ReadAppOrdered:
-		best := 0
-		for i := 1; i < len(s.reqQueue); i++ {
-			q, b := s.reqQueue[i], s.reqQueue[best]
-			if q.conn.App < b.conn.App || (q.conn.App == b.conn.App && q.issued < b.issued) {
-				best = i
-			}
-		}
-		return best
-	case ReadRoundRobin:
-		best := -1
-		for i := range s.reqQueue {
-			if s.reqQueue[i].conn.App == s.lastApp {
-				continue
-			}
-			if best < 0 || s.reqQueue[i].issued < s.reqQueue[best].issued {
-				best = i
-			}
-		}
-		if best >= 0 {
-			return best
-		}
-		return s.oldest()
-	default:
-		return s.oldest() // FIFO by issue time
+// pick asks the scheduler which queued request gets the next flow slot.
+// The scheduler sees a value view of the queue (rebuilt into a reusable
+// slice — no allocation in steady state); all disciplines preserve
+// per-connection message order within an application. A negative return
+// with a wake time arms a retry event: a throttling scheduler (token
+// bucket, controller) deliberately idles the slot until tokens refill.
+func (s *Server) pick() int {
+	s.qview = s.qview[:0]
+	for _, st := range s.reqQueue {
+		s.qview = append(s.qview, qos.Request{
+			App: st.conn.App, Issued: st.issued, Bytes: st.bytes,
+		})
 	}
+	idx, wake := s.sched.Pick(s.E.Now(), s.qview)
+	if idx < 0 && wake > s.E.Now() && wake < sim.MaxTime {
+		s.armWake(wake)
+	}
+	return idx
 }
 
-// oldest returns the index of the earliest-issued queued request.
-func (s *Server) oldest() int {
-	best := 0
-	for i := 1; i < len(s.reqQueue); i++ {
-		if s.reqQueue[i].issued < s.reqQueue[best].issued {
-			best = i
-		}
+// armWake schedules a pump retry at the scheduler-requested time, keeping
+// at most one useful wake-up in flight (an earlier request supersedes a
+// later one; the superseded event fires as a harmless no-op pump).
+func (s *Server) armWake(at sim.Time) {
+	if s.wakeArmed && s.wakeAt <= at {
+		return
 	}
-	return best
+	s.wakeArmed = true
+	s.wakeAt = at
+	s.E.AtCall(at, s, 0, 0, 0)
+}
+
+// OnEvent implements sim.Target: a scheduler-requested pump retry. Only
+// the currently armed wake releases the flag — a superseded event firing
+// earlier must not fake-release it, or its pump would re-arm a duplicate
+// of the still-pending wake.
+func (s *Server) OnEvent(op uint32, a, b int64) {
+	if s.E.Now() >= s.wakeAt {
+		s.wakeArmed = false
+	}
+	s.pump()
 }
 
 // allowance returns the per-flow in-flight chunk budget under the shared
@@ -251,30 +311,46 @@ func (s *Server) allowance() int {
 	return depth
 }
 
-// pump grants free flow slots to queued requests.
+// pump grants free flow slots to queued requests until the slots run out,
+// the queue drains, or the scheduler withholds the grant (throttled).
 func (s *Server) pump() {
 	for s.freeFlows > 0 && len(s.reqQueue) > 0 {
-		i := s.pickRequest()
+		i := s.pick()
+		if i < 0 {
+			return
+		}
 		st := s.reqQueue[i]
 		copy(s.reqQueue[i:], s.reqQueue[i+1:])
 		s.reqQueue = s.reqQueue[:len(s.reqQueue)-1]
 		s.freeFlows--
 		st.active = true
-		s.lastApp = st.conn.App
+		s.Tel.Grant(st.conn.App, st.bytes)
+		if s.adv != nil {
+			s.activeReqs = append(s.activeReqs, st)
+		}
 		s.consume(st)
 	}
 }
 
 // consume pulls buffered chunks of an active request out of its socket and
-// into the processing pipeline, keeping at most FlowDepth chunks in flight.
-// Reading reopens the TCP window, so the flow self-clocks: the socket
-// refills while earlier chunks are stored.
+// into the processing pipeline, keeping at most FlowDepth chunks in flight
+// — and, when a QoS depth advisor is active, at most the application's
+// in-flight chunk budget across all of its flows on this server. Reading
+// reopens the TCP window, so the flow self-clocks: the socket refills
+// while earlier chunks are stored.
 func (s *Server) consume(st *srvReqState) {
 	depth := s.allowance()
 	if depth <= 0 {
 		depth = 1
 	}
+	appBudget := 0
+	if s.adv != nil {
+		appBudget = s.adv.AppDepth(st.conn.App)
+	}
 	for len(st.pending) > 0 && st.inflight < depth {
+		if appBudget > 0 && s.Tel.App(st.conn.App).InFlight >= int64(appBudget) {
+			return
+		}
 		m := st.pending[0]
 		copy(st.pending, st.pending[1:])
 		st.pending = st.pending[:len(st.pending)-1]
@@ -283,6 +359,7 @@ func (s *Server) consume(st *srvReqState) {
 		st.inflight++
 		s.stats.Chunks++
 		s.stats.Bytes += ck.size
+		s.Tel.Consume(st.conn.App, ck.size)
 		chunk := ck
 		s.cpu.Send(chunk.size, func() { s.store(st.conn, chunk) })
 	}
@@ -295,6 +372,7 @@ func (s *Server) store(c *netsim.Conn, ck *chunkMsg) {
 		// reply path; each chunk replies individually with its data.
 		done := func() {
 			s.stats.Replies++
+			s.Tel.Done(c.App, ck.size)
 			c.Reply(ck.size, &replyMsg{req: ck.req})
 			s.readChunkDone(ck.srvState)
 		}
@@ -332,13 +410,14 @@ func (s *Server) chunkDone(c *netsim.Conn, ck *chunkMsg) {
 	st := ck.srvState
 	st.remaining--
 	st.inflight--
+	s.Tel.Done(c.App, ck.size)
 	if st.remaining == 0 {
 		s.stats.Replies++
 		c.Reply(s.P.RespBytes, &replyMsg{req: ck.req})
 		s.finishFlow(st)
 		return
 	}
-	s.consume(st)
+	s.refill(st)
 }
 
 // readChunkDone accounts a served read chunk and frees the flow at the end.
@@ -349,11 +428,46 @@ func (s *Server) readChunkDone(st *srvReqState) {
 		s.finishFlow(st)
 		return
 	}
-	s.consume(st)
+	s.refill(st)
+}
+
+// refill resumes chunk consumption after a completion. Without a depth
+// advisor only st itself can have head-room (per-flow depth); with one,
+// the completed chunk may also have freed the application's shared budget
+// for a sibling request, so every active flow of the application is
+// re-polled, in grant order.
+func (s *Server) refill(st *srvReqState) {
+	if s.adv == nil {
+		s.consume(st)
+		return
+	}
+	s.refillApp(st.conn.App)
+}
+
+// refillApp re-polls every active flow of one application, in grant order.
+func (s *Server) refillApp(app int) {
+	for _, a := range s.activeReqs {
+		if a.conn.App == app {
+			s.consume(a)
+		}
+	}
 }
 
 func (s *Server) finishFlow(st *srvReqState) {
 	st.active = false
 	s.freeFlows++
+	s.Tel.Finish(st.conn.App)
+	if s.adv != nil {
+		for i, a := range s.activeReqs {
+			if a == st {
+				copy(s.activeReqs[i:], s.activeReqs[i+1:])
+				s.activeReqs = s.activeReqs[:len(s.activeReqs)-1]
+				break
+			}
+		}
+		// The finished flow's last chunk freed budget head-room its
+		// sibling flows may be blocked on.
+		s.refillApp(st.conn.App)
+	}
 	s.pump()
 }

@@ -24,6 +24,7 @@ type chunkMsg struct {
 // wire-visible request descriptor and the server's flow bookkeeping).
 type srvReqState struct {
 	remaining int      // chunks not yet stored (write) or returned (read)
+	bytes     int64    // total data bytes of this request's share here
 	issued    sim.Time // when the client issued the request
 
 	// Server-side flow scheduling state.

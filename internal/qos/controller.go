@@ -1,0 +1,156 @@
+package qos
+
+import "repro/internal/sim"
+
+// ewmaAlpha smooths the per-application throughput estimate: high enough
+// to track a burst within a few ticks, low enough not to flap on one.
+const ewmaAlpha = 0.3
+
+// controller is the feedback congestion scheduler, in the spirit of
+// Collignon et al.'s control-theoretic mitigation of shared-storage
+// congestion: admission whose per-application rates and pipeline budgets
+// are set by a feedback loop over LASSi-style telemetry instead of by an
+// administrator.
+//
+// Every Tick the loop samples the probe layer — per-application bytes
+// completed (throughput EWMA), per-application demand, and device busy
+// time (utilization) — and classifies the interval:
+//
+//   - Congested: device utilization >= TargetUtil, at least two
+//     applications have demand, and the top application's share of the
+//     smoothed throughput exceeds ShareCap. The aggressor's token rate and
+//     in-flight chunk budget are halved (multiplicative decrease, floored
+//     at FloorBytesPerSec and one chunk).
+//   - Otherwise: every application recovers additively — one chunk of
+//     budget and RecoverBytesPerSec of rate per tick — toward the
+//     InflightChunks and RateBytesPerSec caps, so a throttle outlives its
+//     cause by at most a few ticks.
+//
+// Because the decrease repeats every tick while the aggressor keeps
+// hogging and relaxes as soon as it stops, the loop integrates toward the
+// strongest throttle that still leaves the device saturated — holding the
+// victims' queueing (the operational proxy for their interference factor)
+// down at a bounded throughput cost, which is exactly the trade-off the
+// mitigation sweep's Pareto view renders. Two levers because the two
+// contention points differ: the token rate gates *grants* (flow slots, the
+// request backlog of the paper's Trove bottleneck), the chunk budget gates
+// the *pipeline* (device backlog, the seek-amplification term).
+//
+// The tick is armed lazily on the first grant decision and disarms itself
+// when the server goes idle (no queued or active requests), so a finished
+// simulation drains its event queue and terminates.
+type controller struct {
+	e   *sim.Engine
+	p   Params
+	tel *Telemetry
+	b   buckets
+
+	budget   []int // per-application in-flight chunk budgets
+	ticking  bool
+	lastBusy sim.Time
+	lastDone []int64
+	ewma     []float64
+}
+
+func (c *controller) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	if !c.ticking {
+		c.ticking = true
+		// Resync the busy-time baseline: the device may have kept flushing
+		// (write-back cache) through a disarmed gap, and counting that
+		// backlog against the first tick would fake a congested interval.
+		c.lastBusy = c.tel.DeviceBusy()
+		c.e.ScheduleCall(c.p.Tick, c, 0, 0, 0)
+	}
+	return c.b.pick(now, q, c.p.RateBytesPerSec)
+}
+
+// AppDepth implements DepthAdvisor: the feedback-set budget (0 until the
+// application is first observed: unclamped).
+func (c *controller) AppDepth(app int) int {
+	if app < len(c.budget) {
+		return c.budget[app]
+	}
+	return 0
+}
+
+// growStats sizes the sampling state for n applications. New applications
+// start at the full budget.
+func (c *controller) growStats(n int) {
+	for len(c.lastDone) < n {
+		c.lastDone = append(c.lastDone, 0)
+		c.ewma = append(c.ewma, 0)
+		c.budget = append(c.budget, c.p.InflightChunks)
+	}
+}
+
+// OnEvent implements sim.Target: one feedback tick.
+func (c *controller) OnEvent(op uint32, a, b int64) {
+	tickSec := c.p.Tick.Seconds()
+	n := c.tel.Apps()
+	c.growStats(n)
+	c.b.grow(n, c.p.RateBytesPerSec)
+	// Settle token accrual at the old rates before changing them: refill
+	// credits elapsed time at the rate current at refill time, so without
+	// this a rate cut would retroactively confiscate tokens already earned
+	// since the last Pick (and a recovery would retroactively inflate them).
+	c.b.refill(c.e.Now())
+
+	// Sample: per-application smoothed throughput and the demand set. Only
+	// applications that still have work at the server can be the aggressor
+	// (or dilute its share): a finished application's decaying EWMA must
+	// not draw the throttle away from the live contenders — or pre-throttle
+	// its own next burst.
+	demand, aggr := 0, -1
+	var total float64
+	for i := 0; i < n; i++ {
+		st := c.tel.App(i)
+		tp := float64(st.BytesDone-c.lastDone[i]) / tickSec
+		c.lastDone[i] = st.BytesDone
+		c.ewma[i] = ewmaAlpha*tp + (1-ewmaAlpha)*c.ewma[i]
+		if !st.Demand() {
+			continue
+		}
+		demand++
+		total += c.ewma[i]
+		if c.ewma[i] > 0 && (aggr < 0 || c.ewma[i] > c.ewma[aggr]) {
+			aggr = i
+		}
+	}
+	busy := c.tel.DeviceBusy()
+	util := (busy - c.lastBusy).Seconds() / tickSec
+	c.lastBusy = busy
+
+	congested := util >= c.p.TargetUtil && demand >= 2 &&
+		aggr >= 0 && total > 0 && c.ewma[aggr]/total > c.p.ShareCap
+	if congested {
+		// Multiplicative decrease on the aggressor only.
+		if r := c.b.rate[aggr] / 2; r >= c.p.FloorBytesPerSec {
+			c.b.rate[aggr] = r
+		} else {
+			c.b.rate[aggr] = c.p.FloorBytesPerSec
+		}
+		if d := c.budget[aggr] / 2; d >= 1 {
+			c.budget[aggr] = d
+		} else {
+			c.budget[aggr] = 1
+		}
+	} else {
+		// Additive recovery for everyone.
+		for i := 0; i < n; i++ {
+			if r := c.b.rate[i] + c.p.RecoverBytesPerSec; r < c.p.RateBytesPerSec {
+				c.b.rate[i] = r
+			} else {
+				c.b.rate[i] = c.p.RateBytesPerSec
+			}
+			if c.budget[i] < c.p.InflightChunks {
+				c.budget[i]++
+			}
+		}
+	}
+
+	if c.tel.Queued()+c.tel.Active() > 0 {
+		c.e.ScheduleCall(c.p.Tick, c, 0, 0, 0)
+	} else {
+		c.ticking = false
+	}
+}

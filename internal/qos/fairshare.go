@@ -1,0 +1,114 @@
+package qos
+
+import "repro/internal/sim"
+
+// fairShare is deficit round-robin (Shreedhar & Varghese) across
+// application IDs at flow-slot granularity: applications take service
+// turns in cyclic order; entering a turn adds a byte quantum to the
+// application's deficit, and its oldest queued requests are admitted while
+// the deficit covers them. Large requests therefore cannot monopolize the
+// flow slots — an elephant's multi-megabyte requests and a mouse's small
+// ones are interleaved in proportion to bytes, not request count, which is
+// exactly the asymmetry the elephant-and-mice scenarios measure.
+//
+// Standard DRR details kept: an application's deficit is forfeited while
+// it has nothing queued (credit does not accrue during idleness), and a
+// turn stays open across consecutive Pick calls until the deficit no
+// longer covers the head request — one Pick performs one grant, so the
+// classic "serve while deficit lasts" inner loop unrolls across calls.
+//
+// fairShare also implements DepthAdvisor: while two or more applications
+// have demand at the server, every application is clamped to the
+// InflightChunks pipeline budget. Grant-time DRR alone cannot preempt a
+// multi-megabyte request already holding a flow slot, and it is that
+// request's deep device backlog a small victim request queues behind; the
+// clamp keeps each contender's backlog to budget × chunk-size bytes. Solo
+// applications stay unclamped, so alone baselines are unaffected.
+type fairShare struct {
+	quantum int64
+	budget  int // in-flight chunk budget per contending application
+	tel     *Telemetry
+	cur     int // application whose service turn is open (-1 = none yet)
+
+	deficit []int64
+	head    []int32 // scratch: queue index of each app's oldest request, -1 = none
+}
+
+// AppDepth implements DepthAdvisor: the shared budget under contention,
+// unbounded otherwise.
+func (f *fairShare) AppDepth(app int) int {
+	if f.budget > 0 && f.tel.DemandApps() >= 2 {
+		return f.budget
+	}
+	return 0
+}
+
+// grow sizes the per-application state for ids 0..n-1.
+func (f *fairShare) grow(n int) {
+	for len(f.deficit) < n {
+		f.deficit = append(f.deficit, 0)
+		f.head = append(f.head, -1)
+	}
+}
+
+func (f *fairShare) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	n := 1 + maxQueuedApp(q)
+	f.grow(n)
+	heads := appHeads(q, f.head[:n])
+	// Idle applications forfeit their credit — including IDs above every
+	// currently queued application's (their deficit slots outlive n).
+	for a := range f.deficit {
+		if a >= n || heads[a] < 0 {
+			f.deficit[a] = 0
+		}
+	}
+	// Continue the open service turn while its deficit covers the head.
+	if c := f.cur; c >= 0 && c < n && heads[c] >= 0 && f.deficit[c] >= q[heads[c]].Bytes {
+		f.deficit[c] -= q[heads[c]].Bytes
+		return int(heads[c]), 0
+	}
+	// Otherwise cycle to the next application with queued work, adding one
+	// quantum per visit, until some deficit covers its head. Conceptually:
+	//
+	//	for k := 1; ; k++ {
+	//		a := (start + k) % n; deficit[a] += quantum
+	//		if deficit[a] >= head(a) { grant a }
+	//	}
+	//
+	// Evaluated in closed form — O(n) per grant instead of
+	// O(n·maxHead/quantum), which matters under small configured quanta:
+	// application a (cyclic distance p ∈ [1, n] from the last grantee,
+	// needing t = max(1, ⌈(head−deficit)/quantum⌉) visits) would win at
+	// loop step T(a) = (t−1)·n + p; the true winner is the smallest T, and
+	// every queued application visited before then accrues one quantum per
+	// visit, exactly as the loop would have left it.
+	start := f.cur
+	if start < 0 {
+		start = n - 1 // so the first visit is application 0
+	}
+	winner, bestT := -1, int64(0)
+	for a := 0; a < n; a++ {
+		if heads[a] < 0 {
+			continue
+		}
+		p := int64(((a-start-1)%n+n)%n) + 1
+		t := int64(1)
+		if need := q[heads[a]].Bytes - f.deficit[a]; need > 0 {
+			t = (need + f.quantum - 1) / f.quantum
+		}
+		if T := (t-1)*int64(n) + p; winner < 0 || T < bestT {
+			winner, bestT = a, T
+		}
+	}
+	for a := 0; a < n; a++ {
+		if heads[a] < 0 {
+			continue
+		}
+		if p := int64(((a-start-1)%n+n)%n) + 1; p <= bestT {
+			f.deficit[a] += ((bestT-p)/int64(n) + 1) * f.quantum
+		}
+	}
+	f.deficit[winner] -= q[heads[winner]].Bytes
+	f.cur = winner
+	return int(heads[winner]), 0
+}

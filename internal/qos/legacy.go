@@ -1,0 +1,110 @@
+package qos
+
+import "repro/internal/sim"
+
+// The legacy pfs.ReadPolicy scheduling disciplines, re-expressed as
+// Schedulers so the server has exactly one grant path. Their selection
+// logic is a line-for-line port of the original pfs.Server.pickRequest —
+// the paper and scenario golden checksums pin that the FIFO scheduler (the
+// QoS-off default) reproduces the old behavior bit-for-bit.
+
+// fifo admits requests in issue order (PVFS: "no particular scheduling
+// mechanism at the server side", §IV-B1). FIFO orders by request *issue*
+// time, not data arrival: PVFS learns about a request from its small
+// descriptor message, which reaches the server long before the bulk data
+// fights its way through a congested fabric. Ties keep queue order.
+type fifo struct{}
+
+// NewFIFO returns the PVFS baseline scheduler.
+func NewFIFO() Scheduler { return fifo{} }
+
+func (fifo) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	return oldest(q), 0
+}
+
+// oldest returns the index of the earliest-issued request (first in queue
+// order on ties).
+func oldest(q []Request) int {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].Issued < q[best].Issued {
+			best = i
+		}
+	}
+	return best
+}
+
+// maxQueuedApp returns the largest application ID present in the queue.
+func maxQueuedApp(q []Request) int {
+	m := 0
+	for i := range q {
+		if q[i].App > m {
+			m = q[i].App
+		}
+	}
+	return m
+}
+
+// appHeads fills scratch (one slot per application ID) with the queue
+// index of each application's oldest request, -1 where an application has
+// nothing queued, and returns it. Both the per-application schedulers
+// (fairshare's DRR and the token buckets) arbitrate over this view, and
+// their determinism depends on the same tie rule: equal issue times keep
+// queue order.
+func appHeads(q []Request, scratch []int32) []int32 {
+	for i := range scratch {
+		scratch[i] = -1
+	}
+	for i := range q {
+		a := q[i].App
+		if scratch[a] < 0 || q[i].Issued < q[scratch[a]].Issued {
+			scratch[a] = int32(i)
+		}
+	}
+	return scratch
+}
+
+// appOrdered always prefers the lowest application ID first, making every
+// server process applications in the same global order (the server-side
+// coordination of Song et al., SC'11).
+type appOrdered struct{}
+
+// NewAppOrdered returns the global-application-order scheduler.
+func NewAppOrdered() Scheduler { return appOrdered{} }
+
+func (appOrdered) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	best := 0
+	for i := 1; i < len(q); i++ {
+		if q[i].App < q[best].App || (q[i].App == q[best].App && q[i].Issued < q[best].Issued) {
+			best = i
+		}
+	}
+	return best, 0
+}
+
+// roundRobin alternates flow grants between applications: the next grant
+// avoids the application granted last, falling back to plain FIFO when no
+// other application has queued work.
+type roundRobin struct {
+	last int // application granted most recently
+}
+
+// NewRoundRobin returns the per-grant application-alternation scheduler.
+func NewRoundRobin() Scheduler { return &roundRobin{} }
+
+func (r *roundRobin) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	best := -1
+	for i := range q {
+		if q[i].App == r.last {
+			continue
+		}
+		if best < 0 || q[i].Issued < q[best].Issued {
+			best = i
+		}
+	}
+	if best < 0 {
+		best = oldest(q)
+	}
+	r.last = q[best].App
+	return best, 0
+}

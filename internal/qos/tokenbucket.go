@@ -1,0 +1,108 @@
+package qos
+
+import "repro/internal/sim"
+
+// buckets is the shared admission engine of the rate-based schedulers: one
+// lazily-refilled token bucket per application ID. TokenBucket uses it with
+// a single fixed rate; Controller adjusts the per-application rates from
+// its feedback tick. Refill is computed on demand from elapsed simulated
+// time — no periodic events — so an idle bucket costs nothing.
+type buckets struct {
+	burst  float64
+	last   sim.Time  // time of the last refill
+	tokens []float64 // indexed by application ID
+	rate   []float64 // refill rate per application, bytes/second
+	head   []int32   // scratch: queue index of each app's oldest request
+}
+
+// grow sizes per-application state for ids 0..n-1; new applications start
+// with a full bucket at initRate.
+func (b *buckets) grow(n int, initRate float64) {
+	for len(b.tokens) < n {
+		b.tokens = append(b.tokens, b.burst)
+		b.rate = append(b.rate, initRate)
+		b.head = append(b.head, -1)
+	}
+}
+
+// refill tops up every bucket for the time elapsed since the last refill.
+func (b *buckets) refill(now sim.Time) {
+	dt := (now - b.last).Seconds()
+	b.last = now
+	if dt <= 0 {
+		return
+	}
+	for a := range b.tokens {
+		t := b.tokens[a] + b.rate[a]*dt
+		if t > b.burst {
+			t = b.burst
+		}
+		b.tokens[a] = t
+	}
+}
+
+// cost is the admission price of a request: its bytes, capped at the burst
+// so a request larger than the bucket can still be admitted from a full
+// bucket (the full size is charged, driving the bucket into debt — which
+// is how the average rate stays enforced).
+func (b *buckets) cost(bytes int64) float64 {
+	c := float64(bytes)
+	if c > b.burst {
+		c = b.burst
+	}
+	return c
+}
+
+// pick runs the admission scan: refill, find each application's oldest
+// request, admit the globally oldest affordable one (ties: lowest
+// application ID), or report the earliest time any application can afford
+// its head. initRate seeds buckets of newly observed applications.
+func (b *buckets) pick(now sim.Time, q []Request, initRate float64) (int, sim.Time) {
+	n := 1 + maxQueuedApp(q)
+	b.grow(n, initRate)
+	b.refill(now)
+	heads := appHeads(q, b.head[:n])
+	best := -1
+	for a := 0; a < n; a++ {
+		h := heads[a]
+		if h < 0 || b.tokens[a] < b.cost(q[h].Bytes) {
+			continue
+		}
+		if best < 0 || q[h].Issued < q[best].Issued {
+			best = int(h)
+		}
+	}
+	if best >= 0 {
+		b.tokens[q[best].App] -= float64(q[best].Bytes)
+		return best, 0
+	}
+	// Throttled: wake when the first bucket covers its head request. The
+	// microsecond margin absorbs float rounding so the retry is affordable.
+	wake := sim.MaxTime
+	for a := 0; a < n; a++ {
+		h := heads[a]
+		if h < 0 || b.rate[a] <= 0 {
+			continue
+		}
+		need := b.cost(q[h].Bytes) - b.tokens[a]
+		at := now + sim.Seconds(need/b.rate[a]) + sim.Microsecond
+		if at < wake {
+			wake = at
+		}
+	}
+	return -1, wake
+}
+
+// tokenBucket caps every application at one fixed refill rate per server —
+// the static throttle an administrator sets. Interference drops because no
+// application can saturate the backend; the cost is aggregate throughput
+// left on the table when the device is idle (the Pareto trade-off the
+// mitigation sweep renders).
+type tokenBucket struct {
+	rate float64
+	b    buckets // burst set at construction in New
+}
+
+func (t *tokenBucket) Pick(now sim.Time, q []Request) (int, sim.Time) {
+	return t.b.pick(now, q, t.rate)
+}

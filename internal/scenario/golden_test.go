@@ -11,7 +11,9 @@ package scenario
 // the event kernel that perturbs any of these numbers flips a hash here.
 // Regenerate (after an *intentional* model change only) with:
 //
-//	go test ./internal/scenario -run TestGoldenScenarios -update-golden
+//	go test ./internal/scenario -run TestGoldenScenarios -update
+//
+// (-update-golden is the long spelling of the same flag.)
 
 import (
 	"crypto/sha256"
@@ -27,7 +29,14 @@ import (
 	"repro/internal/core"
 )
 
-var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden_scenarios.txt from the current kernel")
+var (
+	updateGoldenLong  = flag.Bool("update-golden", false, "rewrite the testdata golden files from the current kernel")
+	updateGoldenShort = flag.Bool("update", false, "alias for -update-golden")
+)
+
+// updateGolden reports whether this run should rewrite the golden files
+// instead of checking them (either spelling of the flag).
+func updateGolden() bool { return *updateGoldenLong || *updateGoldenShort }
 
 const goldenFile = "testdata/golden_scenarios.txt"
 
@@ -89,7 +98,7 @@ func goldenKeys() (keys []string, gen map[string]func() string) {
 func TestGoldenScenarios(t *testing.T) {
 	keys, gen := goldenKeys()
 
-	if *updateGolden {
+	if updateGolden() {
 		sorted := append([]string(nil), keys...)
 		sort.Strings(sorted)
 		var b strings.Builder

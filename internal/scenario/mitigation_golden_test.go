@@ -1,0 +1,139 @@
+package scenario
+
+// Golden guard for the mitigation axis: every built-in scenario is swept
+// at smoke scale on HDD under the standard scheme set — {off, fairshare,
+// tokenbucket, controller} — and each arm's headline numbers (peak IF,
+// unfairness, aggregate throughput) are committed VERBATIM alongside a
+// checksum of the arm's full canonical δ-graph. The readable columns make
+// the acceptance property reviewable in the diff (a ≥20% fairshare peak-IF
+// cut on the showcase scenario); the hash makes any numeric drift loud.
+//
+// Regenerate (after an *intentional* model change only) with:
+//
+//	go test ./internal/scenario -run TestGoldenMitigation -update-golden
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+)
+
+const mitigationGoldenFile = "testdata/golden_mitigation.txt"
+
+// mitigationShowcase names the built-in scenario whose committed golden
+// must demonstrate the headline mitigation win, and the minimum peak-IF
+// reduction FairShare must deliver on it.
+const (
+	mitigationShowcase      = "aggressor-victim"
+	showcaseMinFairSharePct = 20.0
+)
+
+// goldenSweepArm serializes one arm's full δ-graph canonically (integer
+// nanoseconds; %.17g floats round-trip float64 bit-for-bit).
+func goldenSweepArm(name string, g *core.DeltaGraph) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "scheme %s\n", name)
+	for i, a := range g.Alone {
+		fmt.Fprintf(&b, "alone %d %d\n", i, a)
+	}
+	for j, p := range g.Points {
+		fmt.Fprintf(&b, "point %d delta=%d", j, p.Delta)
+		for i := range p.Elapsed {
+			fmt.Fprintf(&b, " e%d=%d if%d=%.17g tp%d=%.17g", i, p.Elapsed[i], i, p.IF[i], i, p.Throughput[i])
+		}
+		d := p.Diag
+		fmt.Fprintf(&b, " drops=%d timeouts=%d seeks=%d devbytes=%d events=%d\n",
+			d.PortDrops, d.Timeouts, d.DeviceSeeks, d.DeviceBytes, d.Events)
+	}
+	return b.String()
+}
+
+// mitigationRows runs every built-in scenario's smoke-scale sweep on HDD
+// and renders one golden line per (scenario, scheme), in registry order.
+func mitigationRows(t *testing.T) []string {
+	t.Helper()
+	pool := core.Runner{Parallelism: 0}
+	schemes := core.StandardSchemes()
+	var rows []string
+	for _, s := range Builtin() {
+		sw, err := Sweep(s.Smoke(), cluster.HDD, schemes, pool)
+		if err != nil {
+			t.Fatalf("sweeping %s: %v", s.Name, err)
+		}
+		pareto := sw.Pareto()
+		for i, r := range pareto {
+			sum := sha256.Sum256([]byte(goldenSweepArm(r.Name, sw.Graphs[i])))
+			rows = append(rows, fmt.Sprintf(
+				"%s@hdd %s peak_if=%.17g dIF_pct=%.17g unfair=%.17g agg_bps=%.17g sha=%x",
+				s.Name, r.Name, r.PeakIF, r.IFReductionPct, r.Unfairness, r.AggBps, sum))
+		}
+		// The acceptance property, checked live on every run (not only
+		// against the committed file): the showcase scenario's fairshare
+		// arm cuts peak IF by at least the advertised margin.
+		if s.Name == mitigationShowcase {
+			off, fs := -1.0, -1.0
+			for _, r := range pareto {
+				switch r.Name {
+				case "off":
+					off = r.PeakIF
+				case "fairshare":
+					fs = r.PeakIF
+				}
+			}
+			if off <= 0 || fs < 0 {
+				t.Errorf("%s: off/fairshare arms missing or degenerate (off %.3f, fairshare %.3f)",
+					s.Name, off, fs)
+			} else if got := (off - fs) / off * 100; got < showcaseMinFairSharePct {
+				t.Errorf("%s: fairshare cuts peak IF by %.1f%%, want >= %.0f%% (off %.3f, fairshare %.3f)",
+					s.Name, got, showcaseMinFairSharePct, off, fs)
+			}
+		}
+	}
+	return rows
+}
+
+func TestGoldenMitigation(t *testing.T) {
+	rows := mitigationRows(t)
+
+	if updateGolden() {
+		var b strings.Builder
+		b.WriteString("# Mitigation sweep of every built-in scenario at smoke scale on HDD:\n")
+		b.WriteString("# per scheme, the Pareto headline numbers verbatim plus a sha256 of the\n")
+		b.WriteString("# arm's full canonical delta-graph.\n")
+		b.WriteString("# Regenerate: go test ./internal/scenario -run TestGoldenMitigation -update-golden\n")
+		for _, r := range rows {
+			b.WriteString(r)
+			b.WriteByte('\n')
+		}
+		if err := os.WriteFile(mitigationGoldenFile, []byte(b.String()), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s (%d rows)", mitigationGoldenFile, len(rows))
+		return
+	}
+
+	data, err := os.ReadFile(mitigationGoldenFile)
+	if err != nil {
+		t.Fatalf("reading %s (regenerate with -update-golden): %v", mitigationGoldenFile, err)
+	}
+	var want []string
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		want = append(want, line)
+	}
+	if len(want) != len(rows) {
+		t.Fatalf("golden has %d rows, sweep produced %d (regenerate with -update-golden)", len(want), len(rows))
+	}
+	for i := range rows {
+		if rows[i] != want[i] {
+			t.Errorf("row %d drifted:\n got %s\nwant %s", i, rows[i], want[i])
+		}
+	}
+}

@@ -93,6 +93,18 @@ func Builtin() []Spec {
 			},
 		},
 		{
+			Name: "aggressor-victim",
+			Description: "One bulk writer against a latency-bound strided writer — the mitigation " +
+				"showcase: the victim's small requests queue behind the aggressor's deep chunk pipelines " +
+				"at every server, exactly the backlog a QoS scheduler removes (paperrepro -exp mitigate).",
+			Servers: 4,
+			DeltaS:  []float64{-10, 0, 10},
+			Apps: []App{
+				{Name: "aggressor", Procs: 32, BlockMB: 128},
+				{Name: "victim", Procs: 8, Pattern: "strided", BlockMB: 8, TransferKB: 256},
+			},
+		},
+		{
 			Name: "mixed-transfer",
 			Description: "Two strided writers with 16x different request sizes (1 MiB vs 64 KiB) " +
 				"sharing the stripe: the small-request app pays the per-request costs, the large one wins.",

@@ -37,6 +37,18 @@ func Run(s Spec, backend cluster.BackendKind, pool core.Runner) (*Result, error)
 	}, nil
 }
 
+// Sweep executes the scenario's δ-graph once per mitigation scheme on one
+// backend — the before/after-mitigation view of a scenario. The schemes
+// override any qos block in the spec; every arm's simulations share the
+// pool, and results are identical at any parallelism.
+func Sweep(s Spec, backend cluster.BackendKind, schemes []core.Scheme, pool core.Runner) (*core.Sweep, error) {
+	_, spec, err := s.Build(backend)
+	if err != nil {
+		return nil, err
+	}
+	return pool.RunMitigationSweep(spec, schemes), nil
+}
+
 // RunAll executes the scenario on its whole backend axis (HDD and SSD
 // unless the spec pins one), in axis order.
 func RunAll(s Spec, pool core.Runner) ([]*Result, error) {

@@ -23,6 +23,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/workload"
 )
@@ -60,6 +61,27 @@ type App struct {
 	StartS float64 `json:"start_s,omitempty"`
 }
 
+// appName resolves app i's display name: its Name field, or the
+// conventional core.AppName letter when unset. Validate, Build, and
+// AppNames all label through here so renderers can never drift from the
+// names the engine ran with.
+func appName(a App, i int) string {
+	if a.Name != "" {
+		return a.Name
+	}
+	return core.AppName(i)
+}
+
+// AppNames returns the resolved display name of every app in s, in app
+// order — the labels Build gives the engine.
+func AppNames(s Spec) []string {
+	names := make([]string, len(s.Apps))
+	for i, a := range s.Apps {
+		names[i] = appName(a, i)
+	}
+	return names
+}
+
 // Spec is one declarative scenario. The zero value of every platform field
 // means "use the paper default" (cluster.Default), so a minimal scenario is
 // just a name and an application list.
@@ -87,7 +109,64 @@ type Spec struct {
 	// application but the first is shifted by δ on top of its start_s.
 	DeltaS []float64 `json:"delta_s,omitempty"`
 
+	// QoS enables a server-side QoS scheduler on every storage server
+	// (nil = off, the un-mitigated PVFS baseline).
+	QoS *QoS `json:"qos,omitempty"`
+
 	Apps []App `json:"apps"`
+}
+
+// QoS is the declarative form of a server-side scheduler configuration
+// (internal/qos). Scheduler is required; every other knob is optional and
+// zero selects the scheduler's calibrated default.
+type QoS struct {
+	// Scheduler names the discipline: "fairshare", "tokenbucket",
+	// "controller" (or "off").
+	Scheduler string `json:"scheduler"`
+	// FlowSlots overrides the server's concurrent-flow count while the
+	// scheduler is active; InflightChunks is the per-application in-flight
+	// chunk budget of the depth-advising schedulers.
+	FlowSlots      int `json:"flow_slots,omitempty"`
+	InflightChunks int `json:"inflight_chunks,omitempty"`
+	// QuantumKB is the fairshare deficit-round-robin quantum, in KiB.
+	QuantumKB int64 `json:"quantum_kb,omitempty"`
+	// RateMBps / BurstMB configure the token buckets (tokenbucket: the hard
+	// per-application cap; controller: the initial/maximum rate).
+	RateMBps float64 `json:"rate_mbps,omitempty"`
+	BurstMB  int64   `json:"burst_mb,omitempty"`
+	// TickMS is the controller's feedback sampling interval, in ms.
+	TickMS float64 `json:"tick_ms,omitempty"`
+}
+
+// Params compiles the block into scheduler parameters (zero knobs keep the
+// kind's defaults; see qos.Defaults).
+func (q *QoS) Params() (qos.Params, error) {
+	if q == nil {
+		return qos.Params{}, nil
+	}
+	// ParseKind maps "" to Off; requiring the field here keeps a forgotten
+	// "scheduler" key from silently running the experiment unmitigated.
+	if q.Scheduler == "" {
+		return qos.Params{}, fmt.Errorf("scheduler is required (valid: %s)",
+			strings.Join(qos.KindNames(), ", "))
+	}
+	kind, err := qos.ParseKind(q.Scheduler)
+	if err != nil {
+		return qos.Params{}, err
+	}
+	p := qos.Params{
+		Kind:            kind,
+		FlowSlots:       q.FlowSlots,
+		InflightChunks:  q.InflightChunks,
+		QuantumBytes:    q.QuantumKB << 10,
+		RateBytesPerSec: q.RateMBps * 1e6,
+		BurstBytes:      q.BurstMB << 20,
+		Tick:            sim.Time(q.TickMS * float64(sim.Millisecond)),
+	}
+	if err := p.Validate(); err != nil {
+		return qos.Params{}, err
+	}
+	return p, nil
 }
 
 // patternNames are the valid App.Pattern values.
@@ -141,15 +220,17 @@ func (s Spec) Validate() error {
 	if s.Nodes < 0 || s.CoresPerNode < 0 || s.Servers < 0 || s.StripeKB < 0 || s.SSDChannels < 0 {
 		return fmt.Errorf("scenario %q: negative platform parameter", s.Name)
 	}
+	if s.QoS != nil {
+		if _, err := s.QoS.Params(); err != nil {
+			return fmt.Errorf("scenario %q: qos: %w", s.Name, err)
+		}
+	}
 	servers := s.Servers
 	if servers == 0 {
 		servers = cluster.Default().Servers
 	}
 	for i, a := range s.Apps {
-		label := a.Name
-		if label == "" {
-			label = core.AppName(i)
-		}
+		label := appName(a, i)
 		if a.Procs <= 0 {
 			return fmt.Errorf("scenario %q app %q: procs must be > 0, got %d", s.Name, label, a.Procs)
 		}
@@ -227,6 +308,13 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		return cluster.Config{}, core.DeltaSpec{}, fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
 	cfg.Sync = mode
+	if s.QoS != nil {
+		qp, err := s.QoS.Params()
+		if err != nil {
+			return cluster.Config{}, core.DeltaSpec{}, fmt.Errorf("scenario %q: qos: %w", s.Name, err)
+		}
+		cfg.Srv.QoS = qp
+	}
 
 	spec := core.DeltaSpec{Cfg: cfg}
 	node := 0
@@ -235,13 +323,9 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		if ppn == 0 {
 			ppn = cfg.CoresPerNode
 		}
-		name := a.Name
-		if name == "" {
-			name = core.AppName(i)
-		}
 		pat, _ := parsePattern(a.Pattern) // validated above
 		app := core.AppSpec{
-			Name:         name,
+			Name:         appName(a, i),
 			Procs:        a.Procs,
 			FirstNode:    node,
 			ProcsPerNode: ppn,

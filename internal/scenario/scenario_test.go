@@ -6,7 +6,92 @@ import (
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/qos"
+	"repro/internal/sim"
 )
+
+// TestQoSBlockCompilesAndValidates: the declarative qos block compiles
+// into scheduler params with unit conversion, strict scheduler-name
+// validation, and rejection of negative knobs.
+func TestQoSBlockCompilesAndValidates(t *testing.T) {
+	spec := Spec{
+		Name: "q", Servers: 2,
+		QoS:  &QoS{Scheduler: "tokenbucket", RateMBps: 32, BurstMB: 2, FlowSlots: 4},
+		Apps: []App{{Procs: 4, BlockMB: 8}},
+	}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cfg, _, err := spec.Build(cluster.HDD)
+	if err != nil {
+		t.Fatal(err)
+	}
+	qp := cfg.Srv.QoS
+	if qp.Kind != qos.TokenBucket || qp.RateBytesPerSec != 32e6 || qp.BurstBytes != 2<<20 || qp.FlowSlots != 4 {
+		t.Fatalf("qos params not compiled: %+v", qp)
+	}
+
+	spec.QoS = &QoS{Scheduler: "fairshare", QuantumKB: 512, InflightChunks: 2, TickMS: 1.5}
+	if err := spec.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	qp2, err := spec.QoS.Params()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qp2.QuantumBytes != 512<<10 || qp2.InflightChunks != 2 || qp2.Tick != 1500*sim.Microsecond {
+		t.Fatalf("unit conversion wrong: %+v", qp2)
+	}
+
+	bad := []*QoS{
+		{Scheduler: "bogus"},
+		{InflightChunks: 2}, // forgotten "scheduler" must not silently run Off
+		{Scheduler: "fairshare", QuantumKB: -1},
+		{Scheduler: "tokenbucket", RateMBps: -5},
+		{Scheduler: "controller", TickMS: -1},
+	}
+	for i, q := range bad {
+		spec.QoS = q
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad qos block %d passed validation", i)
+		}
+	}
+	// A typo'd field name fails loudly, like everywhere else in the format.
+	if _, err := Parse([]byte(`{"name":"x","apps":[{"procs":1,"block_mb":1}],` +
+		`"qos":{"scheduler":"fairshare","quantumkb":1}}`)); err == nil {
+		t.Error("unknown qos field accepted")
+	}
+	// The error of an unknown scheduler lists the valid set.
+	spec.QoS = &QoS{Scheduler: "bogus"}
+	if err := spec.Validate(); err == nil || !strings.Contains(err.Error(), "fairshare") {
+		t.Errorf("unknown scheduler error should list the valid set, got %v", err)
+	}
+}
+
+// TestQoSBlockChangesResults: a scenario run under a qos block must
+// produce a different δ-graph than the unmitigated run on HDD (the knob is
+// actually wired through Build into the platform).
+func TestQoSBlockChangesResults(t *testing.T) {
+	s, err := Lookup("aggressor-victim")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s = s.Smoke()
+	pool := core.Runner{Parallelism: 0}
+	off, err := Run(s, cluster.HDD, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.QoS = &QoS{Scheduler: "fairshare"}
+	fair, err := Run(s, cluster.HDD, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Graph.PeakIF() <= fair.Graph.PeakIF() {
+		t.Fatalf("fairshare did not reduce peak IF: off %v fair %v",
+			off.Graph.PeakIF(), fair.Graph.PeakIF())
+	}
+}
 
 func TestBuiltinsValidateAndBuild(t *testing.T) {
 	bs := Builtin()
