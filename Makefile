@@ -3,9 +3,9 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_4.json
+BENCH_OUT ?= BENCH_5.json
 
-.PHONY: test race bench scenarios mitigate
+.PHONY: test race bench scenarios mitigate trace
 
 # Tier-1: everything, full grids.
 test:
@@ -31,6 +31,16 @@ scenarios:
 mitigate:
 	$(GO) run ./cmd/paperrepro -exp mitigate -scale 8
 
+# trace smoke: record the periodic-checkpoint builtin at smoke scale,
+# summarize it (Darshan-style), replay it — the -replay step exits nonzero
+# unless every app's completion window reproduces bit-for-bit — and replay
+# it once more under fair-share QoS (the counterfactual arm).
+trace:
+	$(GO) run ./cmd/scenarios -smoke -backend hdd -run periodic-checkpoint-4 -trace ckpt_smoke.trace
+	$(GO) run ./cmd/scenarios -replay ckpt_smoke.trace
+	$(GO) run ./cmd/scenarios -replay ckpt_smoke.trace -qos fairshare
+	rm -f ckpt_smoke.trace
+
 # bench runs the simulator microbenchmarks plus one figure-level campaign
 # bench and writes the combined `go test -json` stream to $(BENCH_OUT).
 # The stream embeds standard benchmark lines, so it stays
@@ -44,7 +54,7 @@ mitigate:
 #	jq -r 'select(.Action=="output") | .Output' BENCH_4.json > new.txt
 #	benchstat old.txt new.txt
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkEngineEventThroughput|BenchmarkTransportThroughput|BenchmarkHDDElevator|BenchmarkFairShareScheduler' \
+	$(GO) test -run '^$$' -bench 'BenchmarkEngineEventThroughput|BenchmarkTransportThroughput|BenchmarkHDDElevator|BenchmarkFairShareScheduler|BenchmarkTraceRecord' \
 		-benchmem -benchtime 0.5s -count 5 -json . > $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure2SyncOn$$' \
 		-benchmem -benchtime 1x -count 3 -json . >> $(BENCH_OUT)

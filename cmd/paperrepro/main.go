@@ -11,14 +11,17 @@
 // Experiments: table1, fig2, fig3, fig4, fig5, fig6 (includes table2),
 // fig7, fig8, fig9, fig10, fig11, fig12, ablation-policy, ablation-read.
 // Beyond the paper, "scenarios" runs every built-in N-application scenario
-// (see SCENARIOS.md) on HDD and SSD, and "mitigate" sweeps every built-in
+// (see SCENARIOS.md) on HDD and SSD; "mitigate" sweeps every built-in
 // scenario on HDD under each server-side QoS scheduler — off, fairshare,
 // tokenbucket, controller (internal/qos) — and prints the per-scenario
-// Pareto view: interference removed versus aggregate throughput paid.
-// Note: for these two experiments any -scale > 1 selects the fixed smoke
+// Pareto view: interference removed versus aggregate throughput paid; and
+// "trace" records the periodic-checkpoint builtin at request level
+// (internal/trace), prints its Darshan-style summary, replays it
+// bit-identically and replays it again under fair-share QoS.
+// Note: for these three experiments any -scale > 1 selects the fixed smoke
 // grid (procs/8, volume/16, ≤3 δ points) rather than acting as a divisor;
 // cmd/scenarios is the richer single-scheduler driver (-run, -file,
-// -backend, -smoke, -qos).
+// -backend, -smoke, -qos, -trace, -replay).
 //
 // -scale divides node/server counts (processes per server stay constant);
 // -coarse uses 5-point δ grids instead of the paper's 9-point grids;
@@ -47,9 +50,11 @@ import (
 	"repro/internal/core"
 	"repro/internal/paper"
 	"repro/internal/pfs"
+	"repro/internal/qos"
 	qosreport "repro/internal/qos/report"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 	"repro/internal/workload"
 )
 
@@ -61,7 +66,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, trace, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
@@ -245,6 +250,10 @@ func (r *runner) one(id string) error {
 		if err := r.mitigate(); err != nil {
 			return err
 		}
+	case "trace":
+		if err := r.trace(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -299,6 +308,50 @@ func (r *runner) mitigate() error {
 		)
 	}
 	r.emit(qosreport.RenderSummary(titles, sweeps))
+	return nil
+}
+
+// trace demonstrates the trace subsystem in memory: record the periodic
+// checkpoint builtin's δ=0 co-run on HDD, print the Darshan-style summary,
+// replay it on the recorded platform (verified bit-identical) and once more
+// under the fair-share QoS scheduler (the counterfactual arm). -scale > 1
+// selects the smoke grid, like the scenarios and mitigate experiments;
+// cmd/scenarios -trace/-replay is the file-based driver.
+func (r *runner) trace() error {
+	s, err := scenario.Lookup("periodic-checkpoint-4")
+	if err != nil {
+		return err
+	}
+	if r.scale > 1 {
+		s = s.Smoke()
+	}
+	t, _, err := scenario.Record(s, cluster.HDD)
+	if err != nil {
+		return err
+	}
+	rep, err := trace.Replay(t)
+	if err != nil {
+		return err
+	}
+	sums := trace.Summarize(t)
+	r.emit(
+		trace.RenderSummary(fmt.Sprintf("%s on hdd: Darshan-style per-app summary", s.Name), sums),
+		trace.RenderSizeHist(fmt.Sprintf("%s on hdd: request-size histogram", s.Name), sums),
+		trace.RenderRoundTrip(fmt.Sprintf("%s on hdd: recorded vs replayed completions", s.Name), rep),
+	)
+	if !rep.Identical() {
+		return fmt.Errorf("trace: replay diverged from the recording")
+	}
+	// FlowSlots 4 serializes the flow layer enough that grant-time
+	// arbitration binds even at smoke scale.
+	qcfg := t.Header.Cfg
+	qcfg.Srv.QoS = qos.Params{Kind: qos.FairShare, FlowSlots: 4}
+	qrep, err := trace.ReplayOn(t, qcfg)
+	if err != nil {
+		return err
+	}
+	r.emit(trace.RenderRoundTrip(
+		fmt.Sprintf("%s on hdd: counterfactual replay under qos=fairshare", s.Name), qrep))
 	return nil
 }
 

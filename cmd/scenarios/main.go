@@ -12,11 +12,23 @@
 //	scenarios -smoke -run all                # the CI smoke grid (tiny)
 //	scenarios -backend ssd -tsv              # one backend, machine-readable
 //	scenarios -qos fairshare -run aggressor-victim   # under a QoS scheduler
+//	scenarios -run periodic-checkpoint-4 -trace ckpt.trace   # record a trace
+//	scenarios -replay ckpt.trace             # summarize + replay + verify
+//	scenarios -replay ckpt.trace -qos fairshare      # counterfactual replay
 //
 // -qos runs every selected scenario with the named server-side QoS
 // scheduler (off, fairshare, tokenbucket, controller) at its calibrated
 // defaults, overriding any qos block in the spec; paperrepro -exp mitigate
 // sweeps all schedulers side by side.
+//
+// -trace records one selected scenario's δ=0 co-run (on -backend, default
+// hdd) to a request-level trace file and prints the Darshan-style per-app
+// summary. -replay reads such a file, prints the summary, replays it on the
+// recorded platform and verifies bit-identical per-app completion times
+// (exit status 1 on divergence); with -qos the replay runs under that
+// scheduler instead — a counterfactual, so verification is skipped. A
+// scenario file with a "trace" block (see SCENARIOS.md) is the declarative
+// spelling of -replay.
 //
 // Every alone baseline, δ point and pairwise co-run is an independent
 // simulation; -j bounds how many run concurrently (default GOMAXPROCS).
@@ -36,6 +48,7 @@ import (
 	"repro/internal/qos"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -47,14 +60,16 @@ func main() {
 
 func realMain() error {
 	var (
-		list    = flag.Bool("list", false, "list built-in scenarios and exit")
-		run     = flag.String("run", "all", "comma-separated built-in scenario names, or all")
-		file    = flag.String("file", "", "run a scenario spec from a JSON `file` instead of the registry")
-		backend = flag.String("backend", "", "run on one backend only (hdd, ssd, ram, null); default: the scenario's axis (hdd+ssd)")
-		smoke   = flag.Bool("smoke", false, "shrink every scenario to the CI smoke grid")
-		qosName = flag.String("qos", "", "run under a server-side QoS `scheduler` (off, fairshare, tokenbucket, controller), overriding the spec")
-		tsv     = flag.Bool("tsv", false, "TSV output instead of aligned tables")
-		jobs    = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		list     = flag.Bool("list", false, "list built-in scenarios and exit")
+		run      = flag.String("run", "all", "comma-separated built-in scenario names, or all")
+		file     = flag.String("file", "", "run a scenario spec from a JSON `file` instead of the registry")
+		backend  = flag.String("backend", "", "run on one backend only (hdd, ssd, ram, null); default: the scenario's axis (hdd+ssd)")
+		smoke    = flag.Bool("smoke", false, "shrink every scenario to the CI smoke grid")
+		qosName  = flag.String("qos", "", "run under a server-side QoS `scheduler` (off, fairshare, tokenbucket, controller), overriding the spec")
+		traceOut = flag.String("trace", "", "record the selected scenario's delta=0 co-run to a trace `file` and summarize it")
+		replayIn = flag.String("replay", "", "summarize and replay a recorded trace `file`, verifying bit-identical completions")
+		tsv      = flag.Bool("tsv", false, "TSV output instead of aligned tables")
+		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 	)
 	flag.Parse()
 
@@ -76,9 +91,36 @@ func realMain() error {
 		return emit(os.Stdout, *tsv, t)
 	}
 
+	if *replayIn != "" {
+		return replayTrace(os.Stdout, *replayIn, *qosName, *tsv)
+	}
+
 	specs, err := selectSpecs(*file, *run)
 	if err != nil {
 		return err
+	}
+
+	if *traceOut != "" {
+		if len(specs) != 1 {
+			return fmt.Errorf("-trace records one scenario; select it with -run name or -file (got %d)", len(specs))
+		}
+		s := specs[0]
+		if *smoke {
+			s = s.Smoke()
+		}
+		if *qosName != "" {
+			// Record under the scheduler too; the trace header embeds the
+			// QoS-enabled platform, so replays reproduce it.
+			s.QoS = &scenario.QoS{Scheduler: *qosName}
+		}
+		b := cluster.HDD
+		if *backend != "" {
+			var err error
+			if b, err = cluster.ParseBackend(*backend); err != nil {
+				return err
+			}
+		}
+		return recordTrace(os.Stdout, s, b, *traceOut, *tsv)
 	}
 
 	var backends []cluster.BackendKind
@@ -93,6 +135,16 @@ func realMain() error {
 	pool := core.Runner{Parallelism: *jobs}
 	var all []*scenario.Result
 	for _, s := range specs {
+		if s.Trace != nil {
+			// A declarative trace scenario replays its recording.
+			if *qosName != "" {
+				s.QoS = &scenario.QoS{Scheduler: *qosName}
+			}
+			if err := emitReplay(os.Stdout, s, *tsv); err != nil {
+				return err
+			}
+			continue
+		}
 		if *smoke {
 			s = s.Smoke()
 		}
@@ -119,6 +171,9 @@ func realMain() error {
 			}
 		}
 	}
+	if len(all) == 0 { // e.g. only trace replays ran
+		return nil
+	}
 	return emit(os.Stdout, *tsv, scenario.RenderSummary(all))
 }
 
@@ -143,6 +198,62 @@ func selectSpecs(file, run string) ([]scenario.Spec, error) {
 		out = append(out, s)
 	}
 	return out, nil
+}
+
+// recordTrace records the scenario's δ=0 co-run on one backend, writes the
+// trace file and prints the Darshan-style summary.
+func recordTrace(w io.Writer, s scenario.Spec, b cluster.BackendKind, path string, tsv bool) error {
+	t, _, err := scenario.Record(s, b)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteFile(path); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "recorded %s on %s: %d requests from %d apps -> %s\n\n",
+		s.Name, b, len(t.Records), len(t.Header.Apps), path)
+	sums := trace.Summarize(t)
+	return emit(w, tsv,
+		trace.RenderSummary(fmt.Sprintf("%s on %s: Darshan-style per-app summary", s.Name, b), sums),
+		trace.RenderSizeHist(fmt.Sprintf("%s on %s: request-size histogram", s.Name, b), sums))
+}
+
+// replayTrace summarizes and replays a trace file. On an unmodified
+// platform the replay is verified bit-identical to the recording (non-nil
+// error on divergence); under -qos it is a counterfactual and only
+// reported.
+func replayTrace(w io.Writer, path, qosName string, tsv bool) error {
+	spec := scenario.Spec{Name: "replay:" + path, Trace: &scenario.TraceBlock{Path: path}}
+	if qosName != "" {
+		spec.QoS = &scenario.QoS{Scheduler: qosName}
+	}
+	return emitReplay(w, spec, tsv)
+}
+
+// emitReplay executes one trace scenario and prints summary plus round-trip
+// tables, failing on divergence unless the replay is counterfactual.
+func emitReplay(w io.Writer, s scenario.Spec, tsv bool) error {
+	rep, t, err := scenario.Replay(s)
+	if err != nil {
+		return err
+	}
+	title := s.Trace.Path
+	counterfactual := s.QoS != nil
+	if err := emit(w, tsv,
+		trace.RenderSummary(fmt.Sprintf("%s: Darshan-style per-app summary", title), trace.Summarize(t)),
+		trace.RenderRoundTrip(fmt.Sprintf("%s: recorded vs replayed completions", title), rep)); err != nil {
+		return err
+	}
+	if counterfactual {
+		fmt.Fprintf(w, "counterfactual replay under qos=%s: divergence from the recording is the result\n",
+			s.QoS.Scheduler)
+		return nil
+	}
+	if !rep.Identical() {
+		return fmt.Errorf("replay of %s diverged from the recording (see the round-trip table)", title)
+	}
+	fmt.Fprintf(w, "replay of %s reproduced every app's completion window bit-for-bit\n", title)
+	return nil
 }
 
 func emit(w io.Writer, tsv bool, tables ...*report.Table) error {

@@ -17,10 +17,19 @@
 // congestion controller over LASSi-style telemetry — slot between the file
 // system's flow layer and the device, and core.RunMitigationSweep (with
 // paperrepro -exp mitigate) reports each scheme's interference reduction
-// against its aggregate-throughput cost. See README.md for a tour,
-// DESIGN.md for the system inventory, EXPERIMENTS.md for
-// paper-versus-measured results and SCENARIOS.md for the scenario engine
-// and the mitigation Pareto view.
+// against its aggregate-throughput cost. A trace subsystem
+// (internal/trace) records every request — time, app, rank, server,
+// offset, bytes, queue depth, latency — through an opt-in zero-allocation
+// hook on the file-system client path, summarizes traces Darshan-style,
+// and replays them bit-identically (or counterfactually under QoS) as a
+// first-class workload source; workload programs (workload.Program)
+// extend one-shot bursts into multi-phase temporal workloads — periodic
+// barrier-synchronized checkpoints, Poisson-jittered bursty tenants —
+// that make such traces worth recording. See README.md for a tour,
+// DESIGN.md for the system inventory (including the replay determinism
+// contract), EXPERIMENTS.md for paper-versus-measured results and
+// SCENARIOS.md for the scenario engine, the mitigation Pareto view and
+// the phases/trace block reference.
 //
 // δ-graph campaigns are embarrassingly parallel — every alone baseline,
 // δ point and figure series is an independent simulation on its own

@@ -97,19 +97,18 @@ func runAlone(spec DeltaSpec, i int) sim.Time {
 	return res.Apps[0].Elapsed
 }
 
-// runPoint measures all applications together with every trailing
-// application (i > 0) shifted by d relative to application 0, on top of the
-// spec's fixed per-app offsets, normalized so the earliest start is 0.
-// IF is left zero: it is the one quantity that needs the alone baselines,
-// so applyAlone fills it in once those are known — which lets a Runner
-// execute points and baselines concurrently.
-func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
-	n := len(spec.Apps)
-	apps := make([]AppSpec, n)
-	copy(apps, spec.Apps)
-	min := spec.offset(0)
+// AppsAt returns the spec's application list with burst start times set for
+// the point at offset d — every trailing application (i > 0) shifted by d on
+// top of its fixed offset, normalized so the earliest start is 0. It is the
+// app list runPoint simulates; the trace layer uses it to record the same
+// co-run a δ point would execute.
+func (s DeltaSpec) AppsAt(d sim.Time) []AppSpec {
+	s.validate()
+	apps := make([]AppSpec, len(s.Apps))
+	copy(apps, s.Apps)
+	min := s.offset(0)
 	for i := range apps {
-		start := spec.offset(i)
+		start := s.offset(i)
 		if i > 0 {
 			start += d
 		}
@@ -121,6 +120,18 @@ func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
 	for i := range apps {
 		apps[i].Start -= min
 	}
+	return apps
+}
+
+// runPoint measures all applications together with every trailing
+// application (i > 0) shifted by d relative to application 0, on top of the
+// spec's fixed per-app offsets, normalized so the earliest start is 0.
+// IF is left zero: it is the one quantity that needs the alone baselines,
+// so applyAlone fills it in once those are known — which lets a Runner
+// execute points and baselines concurrently.
+func runPoint(spec DeltaSpec, d sim.Time) DeltaPoint {
+	n := len(spec.Apps)
+	apps := spec.AppsAt(d)
 	x := Prepare(spec.Cfg, apps)
 	res := x.Run()
 	pt := DeltaPoint{

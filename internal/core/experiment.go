@@ -47,6 +47,11 @@ type AppSpec struct {
 	ProcsPerNode int
 	// Workload is the I/O phase each process performs.
 	Workload workload.Spec
+	// Program, when non-nil, replaces Workload with a multi-phase workload
+	// program (compute think time, barriers, repeated bursts — see
+	// workload.Program). The single-burst Workload path is untouched when
+	// Program is nil, so legacy experiments stay bit-identical.
+	Program *workload.Program
 	// TargetServers stripes the application's file over a subset of
 	// servers (nil = all servers) — the paper's "targeted servers" knob.
 	TargetServers []int
@@ -69,7 +74,19 @@ func (a AppSpec) Validate(cfg cluster.Config) error {
 		return fmt.Errorf("core: app %q spans nodes %d..%d beyond the %d-node platform",
 			a.Name, a.FirstNode, lastNode, cfg.ComputeNodes)
 	}
+	if a.Program != nil {
+		return a.Program.Validate()
+	}
 	return a.Workload.Validate()
+}
+
+// TotalBytes returns the bytes the application moves over its whole phase
+// (all processes; for programs, all iterations).
+func (a AppSpec) TotalBytes() int64 {
+	if a.Program != nil {
+		return a.Program.TotalBytes(a.Procs)
+	}
+	return a.Workload.TotalBytes(a.Procs)
 }
 
 // App is an instantiated application within an experiment.
@@ -78,6 +95,9 @@ type App struct {
 	File    *pfs.File
 	Clients []*pfs.Client
 	Timer   *mpisim.PhaseTimer
+	// Barrier is the application-wide rendezvous of program barrier phases
+	// (nil for single-burst apps).
+	Barrier *mpisim.Barrier
 }
 
 // Experiment is a prepared (but not yet run) simulation. Probes may be
@@ -104,9 +124,14 @@ func Prepare(cfg cluster.Config, specs []AppSpec) *Experiment {
 			File:  pl.FS.CreateFile(spec.Name, spec.TargetServers, stripe),
 			Timer: mpisim.NewPhaseTimer(pl.E, spec.Procs),
 		}
+		if spec.Program != nil {
+			app.Barrier = mpisim.NewBarrier(spec.Procs)
+		}
 		for i := 0; i < spec.Procs; i++ {
 			node := spec.FirstNode + i/spec.ProcsPerNode
-			app.Clients = append(app.Clients, pl.FS.NewClient(pl.Nodes[node], ai))
+			cl := pl.FS.NewClient(pl.Nodes[node], ai)
+			cl.Rank = i
+			app.Clients = append(app.Clients, cl)
 		}
 		x.Apps = append(x.Apps, app)
 	}
@@ -137,16 +162,21 @@ func (x *Experiment) launch() {
 					p.Sleep(app.Spec.Start)
 				}
 				app.Timer.Enter(p)
-				runPlan(p, cl, app, rank)
+				if app.Spec.Program != nil {
+					runProgram(p, x.Platform.FS, cl, app, rank)
+				} else {
+					runBurst(p, cl, app, app.Spec.Workload, rank)
+				}
 				app.Timer.Done()
 			})
 		}
 	}
 }
 
-// runPlan executes the rank's request plan with the spec's queue depth.
-func runPlan(p *sim.Proc, cl *pfs.Client, app *App, rank int) {
-	wl := app.Spec.Workload
+// runBurst executes one I/O burst — the rank's request plan for wl — with
+// the spec's queue depth. It is the whole phase of a single-burst app and
+// one PhaseIO step of a program.
+func runBurst(p *sim.Proc, cl *pfs.Client, app *App, wl workload.Spec, rank int) {
 	plan := wl.Plan(rank, app.Spec.Procs)
 	qd := wl.QD
 	think := sim.Time(wl.ThinkTime)
@@ -226,7 +256,7 @@ func (x *Experiment) collect() RunResult {
 		if !app.Timer.Finished() {
 			panic(fmt.Sprintf("core: app %q did not finish (deadlock?)", app.Spec.Name))
 		}
-		bytes := app.Spec.Workload.TotalBytes(app.Spec.Procs)
+		bytes := app.Spec.TotalBytes()
 		elapsed := app.Timer.Elapsed()
 		res.Apps = append(res.Apps, AppResult{
 			Name:       app.Spec.Name,

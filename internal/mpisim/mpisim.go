@@ -65,6 +65,16 @@ func (c *Comm) Ranks() []int { return c.ranks }
 // Barrier blocks until every rank of the communicator has entered.
 func (c *Comm) Barrier(p *sim.Proc) { c.barrier.Wait(p, c.w.E) }
 
+// NewBarrier returns a reusable rendezvous for n participants — a
+// communicator-free Barrier for callers (the workload-program layer, the
+// trace replayer) that track membership themselves.
+func NewBarrier(n int) *Barrier {
+	if n <= 0 {
+		panic("mpisim: barrier size must be positive")
+	}
+	return &Barrier{n: n}
+}
+
 // Barrier is a reusable rendezvous for n participants.
 type Barrier struct {
 	n       int

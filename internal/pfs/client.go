@@ -11,10 +11,12 @@ import (
 type Client struct {
 	ID   int
 	App  int // application tag (0 or 1 in two-application experiments)
+	Rank int // rank within the application (set by the experiment layer)
 	Host *netsim.Host
 
-	fs    *FileSystem
-	conns map[int]*netsim.Conn // server ID -> connection
+	fs       *FileSystem
+	conns    map[int]*netsim.Conn // server ID -> connection
+	inflight int32                // outstanding requests (observed queue depth)
 }
 
 // NewClient registers a client process running on host for application app.
@@ -61,9 +63,13 @@ func (cl *Client) ReadAsync(f *File, off, size int64, onDone func()) {
 	cl.ioAsync(f, off, size, true, onDone)
 }
 
+// Outstanding returns the client's in-flight request count (observed queue
+// depth, the QD field of its trace records).
+func (cl *Client) Outstanding() int { return int(cl.inflight) }
+
 func (cl *Client) ioAsync(f *File, off, size int64, read bool, onDone func()) {
 	perSrv := f.layout.PerServer(off, size)
-	req := &clientReq{onDone: onDone}
+	req := &clientReq{onDone: onDone, recIdx: -1}
 
 	type srvPlan struct {
 		pos    int
@@ -90,6 +96,23 @@ func (cl *Client) ioAsync(f *File, off, size int64, read bool, onDone func()) {
 	if len(plans) == 0 {
 		cl.fs.E.Schedule(0, onDone)
 		return
+	}
+	req.cl = cl
+	cl.inflight++
+	if s := cl.fs.Sink; s != nil {
+		srv := int32(-1)
+		if len(plans) == 1 {
+			srv = int32(f.servers[plans[0].pos].ID)
+		}
+		op := OpWrite
+		if read {
+			op = OpRead
+		}
+		req.recIdx = s.BeginRequest(IORecord{
+			Time: cl.fs.E.Now(), Off: off, Bytes: size,
+			App: int32(cl.App), Rank: int32(cl.Rank), Server: srv,
+			QD: cl.inflight, Op: op,
+		})
 	}
 	// Writes: one reply per server. Reads: one reply per chunk (each reply
 	// carries a chunk of data).

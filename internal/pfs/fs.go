@@ -23,6 +23,11 @@ type FileSystem struct {
 	Rand        *sim.Rand
 	IssueJitter sim.Time
 
+	// Sink, when non-nil, receives one request-level trace record per
+	// client request (see IORecord). nil — the default — keeps the request
+	// path record-free; internal/trace attaches its Recorder here.
+	Sink IOSink
+
 	nextClient int
 }
 

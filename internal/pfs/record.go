@@ -1,0 +1,73 @@
+package pfs
+
+import "repro/internal/sim"
+
+// Op discriminates the kinds of per-request trace records the client path
+// emits (see IORecord).
+type Op uint8
+
+// Record operation kinds.
+const (
+	// OpWrite and OpRead are client file requests.
+	OpWrite Op = iota
+	OpRead
+	// OpBarrier marks one rank entering a collective barrier between
+	// workload phases (emitted by the workload-program layer, not by pfs
+	// itself). Off and Bytes are zero; Latency is the wait time.
+	OpBarrier
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpWrite:
+		return "write"
+	case OpRead:
+		return "read"
+	case OpBarrier:
+		return "barrier"
+	}
+	return "unknown"
+}
+
+// IORecord is one request-level trace record: the telemetry Darshan keeps
+// per file region, at per-request granularity. The client path fills every
+// field except Latency at issue time; Latency is filled at completion
+// through the sink's EndRequest (so an in-memory recorder stores exactly
+// one record per request, appended once and patched once — no allocation
+// beyond the backing slice).
+type IORecord struct {
+	// Time is the issue time (barrier records: the entry time).
+	Time sim.Time
+	// Latency is completion minus issue (barrier records: the wait time).
+	Latency sim.Time
+	// Off and Bytes are the request's file extent. Zero for barriers.
+	Off   int64
+	Bytes int64
+	// App and Rank identify the issuing process.
+	App  int32
+	Rank int32
+	// Server is the global ID of the single storage server the request
+	// lands on, or -1 when the extent stripes over several (or for
+	// barriers, which involve no server).
+	Server int32
+	// QD is the client's outstanding request count at issue, including
+	// this request — the observed (not configured) queue depth.
+	QD int32
+	// Op is the record kind.
+	Op Op
+}
+
+// IOSink receives request-level records from the client path. BeginRequest
+// is called at issue with every field but Latency set and returns a handle;
+// EndRequest is called at completion with that handle so the sink can fill
+// the latency in place. Implementations must not retain pointers into the
+// record (it is passed by value) and must be cheap: the hook sits on the
+// per-request hot path and internal/trace's Recorder implements it with a
+// zero-allocation slice append.
+//
+// A nil FileSystem.Sink (the default) keeps the client path record-free;
+// recording is opt-in per run.
+type IOSink interface {
+	BeginRequest(r IORecord) int
+	EndRequest(idx int)
+}

@@ -41,15 +41,30 @@ type replyMsg struct {
 	req *clientReq
 }
 
-// clientReq is the client-side handle of an in-flight request.
+// clientReq is the client-side handle of an in-flight request. cl and
+// recIdx tie the completion back to the issuing client's outstanding count
+// and, when a trace sink is attached, to the request's trace record (recIdx
+// is -1 when recording is off; cl is nil only for degenerate zero-extent
+// requests that never reach a server).
 type clientReq struct {
 	remaining int // replies still expected
 	onDone    func()
+	cl        *Client
+	recIdx    int
 }
 
 func (r *clientReq) replied() {
 	r.remaining--
-	if r.remaining == 0 && r.onDone != nil {
+	if r.remaining != 0 {
+		return
+	}
+	if r.cl != nil {
+		r.cl.inflight--
+		if s := r.cl.fs.Sink; s != nil && r.recIdx >= 0 {
+			s.EndRequest(r.recIdx)
+		}
+	}
+	if r.onDone != nil {
 		r.onDone()
 	}
 }

@@ -105,6 +105,47 @@ func Builtin() []Spec {
 			},
 		},
 		{
+			Name: "periodic-checkpoint-4",
+			Description: "A periodic checkpointer (4 barrier-synchronized bursts, 2 s compute between) " +
+				"against a steady restart reader: burst *timing*, not just overlap, decides which " +
+				"checkpoints collide — record it with -trace, replay it with -replay.",
+			Servers: 4,
+			DeltaS:  []float64{-5, 0, 5},
+			Apps: []App{
+				{Name: "checkpoint", Procs: 32, Iterations: 4, Phases: []Phase{
+					{Kind: "barrier"},
+					{Kind: "io", BlockMB: 16},
+					{Kind: "compute", ComputeS: 2},
+				}},
+				{Name: "reader", Procs: 8, Iterations: 4, Phases: []Phase{
+					{Kind: "io", Pattern: "strided", BlockMB: 8, TransferKB: 256, Read: true},
+					{Kind: "compute", ComputeS: 0.5},
+				}},
+			},
+		},
+		{
+			Name: "bursty-poisson-mix",
+			Description: "Three tenants emitting Poisson-jittered bursts (deterministic per-app seeds): " +
+				"inter-arrival structure makes some bursts collide and others slip past each other — " +
+				"the spread between mean and peak IF that one-shot synchronized bursts cannot show.",
+			Servers: 4,
+			DeltaS:  []float64{-5, 0, 5},
+			Apps: []App{
+				{Name: "tenant1", Procs: 16, Seed: 11, Iterations: 3, Phases: []Phase{
+					{Kind: "compute", ComputeS: 0.5, JitterS: 1.5},
+					{Kind: "io", BlockMB: 12},
+				}},
+				{Name: "tenant2", Procs: 16, Seed: 23, Iterations: 3, Phases: []Phase{
+					{Kind: "compute", ComputeS: 0.5, JitterS: 1.5},
+					{Kind: "io", BlockMB: 12},
+				}},
+				{Name: "tenant3", Procs: 16, Seed: 37, Iterations: 3, Phases: []Phase{
+					{Kind: "compute", ComputeS: 0.5, JitterS: 1.5},
+					{Kind: "io", Pattern: "strided", BlockMB: 8, TransferKB: 256},
+				}},
+			},
+		},
+		{
 			Name: "mixed-transfer",
 			Description: "Two strided writers with 16x different request sizes (1 MiB vs 64 KiB) " +
 				"sharing the stripe: the small-request app pays the per-request costs, the large one wins.",

@@ -59,6 +59,55 @@ type App struct {
 	// StartS is the app's fixed start offset in seconds, on top of which
 	// the δ shift moves every application but the first (see core.DeltaSpec).
 	StartS float64 `json:"start_s,omitempty"`
+
+	// Phases turns the app into a multi-phase workload program (compute
+	// think time, barriers, repeated I/O bursts — see workload.Program).
+	// Mutually exclusive with the single-burst knobs above (pattern,
+	// block_mb, transfer_kb, qd, think_ms, read), which then move into the
+	// individual "io" phases.
+	Phases []Phase `json:"phases,omitempty"`
+	// Iterations repeats the phase list (0 = once). Only valid with phases.
+	Iterations int `json:"iterations,omitempty"`
+	// Seed seeds the app's deterministic jitter stream; 0 derives a
+	// distinct per-app default. Only valid with phases.
+	Seed uint64 `json:"seed,omitempty"`
+}
+
+// Phase is the declarative form of one workload-program step. Kind selects
+// which knobs apply: "io" takes the single-burst knobs (pattern, block_mb,
+// transfer_kb, qd, think_ms, read), "compute" takes compute_s and jitter_s
+// (a fixed pause plus an exponential extra with that mean — a Poisson
+// burst-arrival process), "barrier" takes none.
+type Phase struct {
+	Kind string `json:"kind"`
+
+	// io phase knobs (see App for units and semantics).
+	Pattern    string  `json:"pattern,omitempty"`
+	BlockMB    int64   `json:"block_mb,omitempty"`
+	TransferKB int64   `json:"transfer_kb,omitempty"`
+	QD         int     `json:"qd,omitempty"`
+	ThinkMS    float64 `json:"think_ms,omitempty"`
+	Read       bool    `json:"read,omitempty"`
+
+	// compute phase knobs, in seconds.
+	ComputeS float64 `json:"compute_s,omitempty"`
+	JitterS  float64 `json:"jitter_s,omitempty"`
+}
+
+// phaseKindNames are the valid Phase.Kind values.
+var phaseKindNames = []string{"io", "compute", "barrier"}
+
+// parsePhaseKind maps a Phase.Kind string to the workload kind.
+func parsePhaseKind(s string) (workload.PhaseKind, error) {
+	switch strings.ToLower(s) {
+	case "io":
+		return workload.PhaseIO, nil
+	case "compute", "think":
+		return workload.PhaseCompute, nil
+	case "barrier":
+		return workload.PhaseBarrier, nil
+	}
+	return 0, fmt.Errorf("unknown phase kind %q (valid: %s)", s, strings.Join(phaseKindNames, ", "))
 }
 
 // appName resolves app i's display name: its Name field, or the
@@ -110,10 +159,24 @@ type Spec struct {
 	DeltaS []float64 `json:"delta_s,omitempty"`
 
 	// QoS enables a server-side QoS scheduler on every storage server
-	// (nil = off, the un-mitigated PVFS baseline).
+	// (nil = off, the un-mitigated PVFS baseline). For a trace scenario it
+	// configures the replay platform (counterfactual what-if replay).
 	QoS *QoS `json:"qos,omitempty"`
 
-	Apps []App `json:"apps"`
+	// Trace turns the scenario into a trace replay: the workload comes
+	// from a recorded trace file instead of an app list (see Replay).
+	// Mutually exclusive with Apps and every platform/δ knob — the trace
+	// header carries the recorded platform.
+	Trace *TraceBlock `json:"trace,omitempty"`
+
+	Apps []App `json:"apps,omitempty"`
+}
+
+// TraceBlock configures a trace-replay scenario.
+type TraceBlock struct {
+	// Path is the trace file to replay (written by `scenarios -trace` or
+	// trace.WriteFile).
+	Path string `json:"path"`
 }
 
 // QoS is the declarative form of a server-side scheduler configuration
@@ -206,6 +269,23 @@ func (s Spec) Validate() error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: missing name")
 	}
+	if s.Trace != nil {
+		if s.Trace.Path == "" {
+			return fmt.Errorf("scenario %q: trace: missing path", s.Name)
+		}
+		if len(s.Apps) > 0 || len(s.DeltaS) > 0 || s.Backend != "" || s.Sync != "" ||
+			s.Nodes != 0 || s.CoresPerNode != 0 || s.Servers != 0 ||
+			s.StripeKB != 0 || s.SSDChannels != 0 {
+			return fmt.Errorf("scenario %q: a trace scenario replays the recorded platform; "+
+				"apps and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
+		}
+		if s.QoS != nil {
+			if _, err := s.QoS.Params(); err != nil {
+				return fmt.Errorf("scenario %q: qos: %w", s.Name, err)
+			}
+		}
+		return nil
+	}
 	if len(s.Apps) == 0 {
 		return fmt.Errorf("scenario %q: needs at least one app", s.Name)
 	}
@@ -234,20 +314,41 @@ func (s Spec) Validate() error {
 		if a.Procs <= 0 {
 			return fmt.Errorf("scenario %q app %q: procs must be > 0, got %d", s.Name, label, a.Procs)
 		}
-		if a.BlockMB <= 0 {
-			return fmt.Errorf("scenario %q app %q: block_mb must be > 0, got %d", s.Name, label, a.BlockMB)
-		}
-		pat, err := parsePattern(a.Pattern)
-		if err != nil {
-			return fmt.Errorf("scenario %q app %q: %w", s.Name, label, err)
-		}
-		if pat == workload.Strided {
-			if a.TransferKB <= 0 {
-				return fmt.Errorf("scenario %q app %q: strided pattern needs transfer_kb > 0", s.Name, label)
+		if len(a.Phases) > 0 {
+			if a.Pattern != "" || a.BlockMB != 0 || a.TransferKB != 0 ||
+				a.QD != 0 || a.ThinkMS != 0 || a.Read {
+				return fmt.Errorf("scenario %q app %q: phases and the single-burst knobs "+
+					"(pattern, block_mb, transfer_kb, qd, think_ms, read) are mutually exclusive; "+
+					"move them into the io phases", s.Name, label)
 			}
-			if (a.BlockMB<<20)%(a.TransferKB<<10) != 0 {
-				return fmt.Errorf("scenario %q app %q: block_mb %d not divisible by transfer_kb %d",
-					s.Name, label, a.BlockMB, a.TransferKB)
+			if a.Iterations < 0 {
+				return fmt.Errorf("scenario %q app %q: iterations must be >= 0, got %d",
+					s.Name, label, a.Iterations)
+			}
+			for pi, ph := range a.Phases {
+				if err := ph.validate(); err != nil {
+					return fmt.Errorf("scenario %q app %q phase %d: %w", s.Name, label, pi, err)
+				}
+			}
+		} else {
+			if a.Iterations != 0 || a.Seed != 0 {
+				return fmt.Errorf("scenario %q app %q: iterations/seed apply only to phases", s.Name, label)
+			}
+			if a.BlockMB <= 0 {
+				return fmt.Errorf("scenario %q app %q: block_mb must be > 0, got %d", s.Name, label, a.BlockMB)
+			}
+			pat, err := parsePattern(a.Pattern)
+			if err != nil {
+				return fmt.Errorf("scenario %q app %q: %w", s.Name, label, err)
+			}
+			if pat == workload.Strided {
+				if a.TransferKB <= 0 {
+					return fmt.Errorf("scenario %q app %q: strided pattern needs transfer_kb > 0", s.Name, label)
+				}
+				if (a.BlockMB<<20)%(a.TransferKB<<10) != 0 {
+					return fmt.Errorf("scenario %q app %q: block_mb %d not divisible by transfer_kb %d",
+						s.Name, label, a.BlockMB, a.TransferKB)
+				}
 			}
 		}
 		if a.PPN < 0 || a.QD < 0 || a.ThinkMS < 0 || a.StripeKB < 0 || a.StartS < 0 {
@@ -263,6 +364,94 @@ func (s Spec) Validate() error {
 	// A full placement check (apps fitting the node range) needs the built
 	// config; Build performs it via core's AppSpec.Validate.
 	return nil
+}
+
+// validate checks one phase: its kind must be known and exactly the knobs
+// of that kind may be set.
+func (ph Phase) validate() error {
+	if ph.Kind == "" {
+		return fmt.Errorf("phase needs a kind (valid: %s)", strings.Join(phaseKindNames, ", "))
+	}
+	kind, err := parsePhaseKind(ph.Kind)
+	if err != nil {
+		return err
+	}
+	ioKnobs := ph.Pattern != "" || ph.BlockMB != 0 || ph.TransferKB != 0 ||
+		ph.QD != 0 || ph.ThinkMS != 0 || ph.Read
+	switch kind {
+	case workload.PhaseIO:
+		if ph.ComputeS != 0 || ph.JitterS != 0 {
+			return fmt.Errorf("io phase with compute_s/jitter_s")
+		}
+		if ph.BlockMB <= 0 {
+			return fmt.Errorf("io phase needs block_mb > 0, got %d", ph.BlockMB)
+		}
+		pat, err := parsePattern(ph.Pattern)
+		if err != nil {
+			return err
+		}
+		if pat == workload.Strided {
+			if ph.TransferKB <= 0 {
+				return fmt.Errorf("strided io phase needs transfer_kb > 0")
+			}
+			if (ph.BlockMB<<20)%(ph.TransferKB<<10) != 0 {
+				return fmt.Errorf("block_mb %d not divisible by transfer_kb %d", ph.BlockMB, ph.TransferKB)
+			}
+		}
+		if ph.QD < 0 || ph.ThinkMS < 0 {
+			return fmt.Errorf("negative parameter")
+		}
+	case workload.PhaseCompute:
+		if ioKnobs {
+			return fmt.Errorf("compute phase with io knobs")
+		}
+		if ph.ComputeS < 0 || ph.JitterS < 0 {
+			return fmt.Errorf("negative compute_s/jitter_s")
+		}
+	case workload.PhaseBarrier:
+		if ioKnobs || ph.ComputeS != 0 || ph.JitterS != 0 {
+			return fmt.Errorf("barrier phase carries no knobs")
+		}
+	}
+	return nil
+}
+
+// compile turns one validated phase into its workload form.
+func (ph Phase) compile() workload.Phase {
+	kind, _ := parsePhaseKind(ph.Kind) // validated
+	switch kind {
+	case workload.PhaseIO:
+		pat, _ := parsePattern(ph.Pattern) // validated
+		return workload.Phase{Kind: workload.PhaseIO, IO: workload.Spec{
+			Pattern:      pat,
+			BlockBytes:   ph.BlockMB << 20,
+			TransferSize: ph.TransferKB << 10,
+			QD:           ph.QD,
+			ThinkTime:    int64(ph.ThinkMS * float64(sim.Millisecond)),
+			Read:         ph.Read,
+		}}
+	case workload.PhaseCompute:
+		return workload.Phase{Kind: workload.PhaseCompute,
+			Compute:    int64(ph.ComputeS * float64(sim.Second)),
+			JitterMean: int64(ph.JitterS * float64(sim.Second))}
+	}
+	return workload.Phase{Kind: workload.PhaseBarrier}
+}
+
+// program compiles an app's phase list into a workload.Program. The default
+// seed is a distinct per-position splitmix64 increment multiple, so unseeded
+// co-running apps decorrelate and the choice is stable across runs (the seed
+// must not depend on which subset of apps a pairwise co-run selects).
+func (a App) program(i int) *workload.Program {
+	seed := a.Seed
+	if seed == 0 {
+		seed = uint64(i+1) * 0x9E3779B97F4A7C15
+	}
+	prog := &workload.Program{Iterations: a.Iterations, Seed: seed}
+	for _, ph := range a.Phases {
+		prog.Phases = append(prog.Phases, ph.compile())
+	}
+	return prog
 }
 
 // Backends returns the backend axis this scenario runs on: the pinned one
@@ -285,6 +474,10 @@ func (s Spec) Backends() ([]cluster.BackendKind, error) {
 func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec, error) {
 	if err := s.Validate(); err != nil {
 		return cluster.Config{}, core.DeltaSpec{}, err
+	}
+	if s.Trace != nil {
+		return cluster.Config{}, core.DeltaSpec{},
+			fmt.Errorf("scenario %q: a trace scenario replays a recording; use Replay", s.Name)
 	}
 	cfg := cluster.Default()
 	cfg.Backend = backend
@@ -323,22 +516,26 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		if ppn == 0 {
 			ppn = cfg.CoresPerNode
 		}
-		pat, _ := parsePattern(a.Pattern) // validated above
 		app := core.AppSpec{
-			Name:         appName(a, i),
-			Procs:        a.Procs,
-			FirstNode:    node,
-			ProcsPerNode: ppn,
-			Workload: workload.Spec{
+			Name:          appName(a, i),
+			Procs:         a.Procs,
+			FirstNode:     node,
+			ProcsPerNode:  ppn,
+			TargetServers: a.TargetServers,
+			Stripe:        a.StripeKB << 10,
+		}
+		if len(a.Phases) > 0 {
+			app.Program = a.program(i)
+		} else {
+			pat, _ := parsePattern(a.Pattern) // validated above
+			app.Workload = workload.Spec{
 				Pattern:      pat,
 				BlockBytes:   a.BlockMB << 20,
 				TransferSize: a.TransferKB << 10,
 				QD:           a.QD,
 				ThinkTime:    int64(a.ThinkMS * float64(sim.Millisecond)),
 				Read:         a.Read,
-			},
-			TargetServers: a.TargetServers,
-			Stripe:        a.StripeKB << 10,
+			}
 		}
 		node += (a.Procs + ppn - 1) / ppn
 		spec.Apps = append(spec.Apps, app)
@@ -380,13 +577,23 @@ func (s Spec) Smoke() Spec {
 	out.Apps = make([]App, len(s.Apps))
 	for i, a := range s.Apps {
 		a.Procs = max(2, a.Procs/8)
-		a.BlockMB = max(1, a.BlockMB/16)
 		a.StartS /= timeDiv
-		if pat, err := parsePattern(a.Pattern); err == nil && pat == workload.Strided &&
-			a.TransferKB > 0 && (a.BlockMB<<20)%(a.TransferKB<<10) != 0 {
-			// Keep divisibility after shrinking: fall back to one request
-			// per block.
-			a.TransferKB = a.BlockMB << 10
+		if len(a.Phases) > 0 {
+			// Programs shrink phase by phase: burst volumes like the
+			// single-burst path, compute pauses and jitter means with the
+			// time axes.
+			phases := make([]Phase, len(a.Phases))
+			for pi, ph := range a.Phases {
+				ph.BlockMB = shrinkBlock(ph.BlockMB)
+				ph.TransferKB = fixTransfer(ph.Pattern, ph.BlockMB, ph.TransferKB)
+				ph.ComputeS /= timeDiv
+				ph.JitterS /= timeDiv
+				phases[pi] = ph
+			}
+			a.Phases = phases
+		} else {
+			a.BlockMB = max(1, a.BlockMB/16)
+			a.TransferKB = fixTransfer(a.Pattern, a.BlockMB, a.TransferKB)
 		}
 		out.Apps[i] = a
 	}
@@ -414,6 +621,26 @@ func (s Spec) Smoke() Spec {
 		out.Nodes = 0
 	}
 	return out
+}
+
+// shrinkBlock divides an io volume by the smoke factor; zero (a non-io
+// phase) stays zero.
+func shrinkBlock(mb int64) int64 {
+	if mb <= 0 {
+		return mb
+	}
+	return max(1, mb/16)
+}
+
+// fixTransfer keeps strided divisibility after shrinking: when the shrunken
+// block no longer divides by the transfer size, fall back to one request
+// per block.
+func fixTransfer(pattern string, blockMB, transferKB int64) int64 {
+	if pat, err := parsePattern(pattern); err == nil && pat == workload.Strided &&
+		transferKB > 0 && (blockMB<<20)%(transferKB<<10) != 0 {
+		return blockMB << 10
+	}
+	return transferKB
 }
 
 // Parse decodes one scenario from JSON, rejecting unknown fields (a typo'd

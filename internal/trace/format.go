@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/pfs"
+	"repro/internal/sim"
+)
+
+// On-disk layout: an 8-byte magic, a length-prefixed JSON header (platform
+// configuration plus application table), the record count, then fixed-width
+// little-endian records in issue-time order. 49 bytes per record — compact
+// next to a textual log, trivially seekable, and byte-identical across
+// platforms (no floats in the record; the header's floats round-trip
+// through JSON exactly).
+
+// magic identifies trace files; the trailing digit is the format version.
+const magic = "IOTRACE1"
+
+// recordSize is the packed wire size of one Record.
+const recordSize = 8 + 8 + 8 + 8 + 4 + 4 + 4 + 4 + 1
+
+// putRecord packs r into buf (which must hold recordSize bytes).
+func putRecord(buf []byte, r *Record) {
+	binary.LittleEndian.PutUint64(buf[0:], uint64(r.Time))
+	binary.LittleEndian.PutUint64(buf[8:], uint64(r.Latency))
+	binary.LittleEndian.PutUint64(buf[16:], uint64(r.Off))
+	binary.LittleEndian.PutUint64(buf[24:], uint64(r.Bytes))
+	binary.LittleEndian.PutUint32(buf[32:], uint32(r.App))
+	binary.LittleEndian.PutUint32(buf[36:], uint32(r.Rank))
+	binary.LittleEndian.PutUint32(buf[40:], uint32(r.Server))
+	binary.LittleEndian.PutUint32(buf[44:], uint32(r.QD))
+	buf[48] = byte(r.Op)
+}
+
+// getRecord unpacks r from buf.
+func getRecord(buf []byte, r *Record) {
+	r.Time = sim.Time(binary.LittleEndian.Uint64(buf[0:]))
+	r.Latency = sim.Time(binary.LittleEndian.Uint64(buf[8:]))
+	r.Off = int64(binary.LittleEndian.Uint64(buf[16:]))
+	r.Bytes = int64(binary.LittleEndian.Uint64(buf[24:]))
+	r.App = int32(binary.LittleEndian.Uint32(buf[32:]))
+	r.Rank = int32(binary.LittleEndian.Uint32(buf[36:]))
+	r.Server = int32(binary.LittleEndian.Uint32(buf[40:]))
+	r.QD = int32(binary.LittleEndian.Uint32(buf[44:]))
+	r.Op = pfs.Op(buf[48])
+}
+
+// Write streams the trace to w.
+func (t *Trace) Write(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(magic); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	hdr, err := json.Marshal(t.Header)
+	if err != nil {
+		return fmt.Errorf("trace: encoding header: %w", err)
+	}
+	var n [8]byte
+	binary.LittleEndian.PutUint32(n[:4], uint32(len(hdr)))
+	if _, err := bw.Write(n[:4]); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if _, err := bw.Write(hdr); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	binary.LittleEndian.PutUint64(n[:], uint64(len(t.Records)))
+	if _, err := bw.Write(n[:]); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	var buf [recordSize]byte
+	for i := range t.Records {
+		putRecord(buf[:], &t.Records[i])
+		if _, err := bw.Write(buf[:]); err != nil {
+			return fmt.Errorf("trace: %w", err)
+		}
+	}
+	return bw.Flush()
+}
+
+// Read parses a trace from r and validates it.
+func Read(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var m [len(magic)]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading magic: %w", err)
+	}
+	if string(m[:]) != magic {
+		return nil, fmt.Errorf("trace: bad magic %q (not a %s file)", m, magic)
+	}
+	var n [8]byte
+	if _, err := io.ReadFull(br, n[:4]); err != nil {
+		return nil, fmt.Errorf("trace: reading header length: %w", err)
+	}
+	hlen := binary.LittleEndian.Uint32(n[:4])
+	if hlen > 1<<24 {
+		return nil, fmt.Errorf("trace: implausible header length %d", hlen)
+	}
+	hdr := make([]byte, hlen)
+	if _, err := io.ReadFull(br, hdr); err != nil {
+		return nil, fmt.Errorf("trace: reading header: %w", err)
+	}
+	t := &Trace{}
+	if err := json.Unmarshal(hdr, &t.Header); err != nil {
+		return nil, fmt.Errorf("trace: decoding header: %w", err)
+	}
+	if _, err := io.ReadFull(br, n[:]); err != nil {
+		return nil, fmt.Errorf("trace: reading record count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(n[:])
+	// The cap bounds the upfront allocation a corrupt count can demand
+	// (2^31 records is already a >100 GB file) and keeps indices safely
+	// inside the replayer's int32 per-rank buckets.
+	if count > 1<<31-1 {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	t.Records = make([]Record, count)
+	var buf [recordSize]byte
+	for i := range t.Records {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, count, err)
+		}
+		getRecord(buf[:], &t.Records[i])
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// WriteFile writes the trace to path.
+func (t *Trace) WriteFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	if err := t.Write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// ReadFile reads and validates the trace at path.
+func ReadFile(path string) (*Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	t, err := Read(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return t, nil
+}

@@ -1,0 +1,176 @@
+package trace
+
+import (
+	"fmt"
+
+	"repro/internal/pfs"
+	"repro/internal/report"
+	"repro/internal/sim"
+)
+
+// sizeBuckets are the request-size histogram edges, in the spirit of
+// Darshan's POSIX access-size counters.
+var sizeBuckets = [...]int64{64 << 10, 256 << 10, 1 << 20, 4 << 20}
+
+// SizeBucketLabels names the histogram buckets of AppSummary.SizeHist.
+func SizeBucketLabels() []string {
+	return []string{"<64K", "64-256K", "256K-1M", "1-4M", ">=4M"}
+}
+
+// AppSummary is the Darshan-style per-application digest of a trace: the
+// counters a darshan-parser job summary reports, computed from the
+// request-level records.
+type AppSummary struct {
+	Name  string
+	Procs int
+
+	// Request and byte counters, split by direction.
+	Writes, Reads, Barriers int64
+	BytesWritten, BytesRead int64
+
+	// PhaseStart/PhaseEnd are the recorded collective phase window.
+	PhaseStart, PhaseEnd sim.Time
+
+	// IOTime is the summed request latency over all ranks (Darshan's
+	// F_WRITE/READ_TIME); BarrierTime the summed barrier wait (F_META-ish
+	// synchronization cost).
+	IOTime, BarrierTime sim.Time
+
+	// Request latency extremes and mean.
+	MinLat, MaxLat, MeanLat sim.Time
+
+	// MaxQD is the largest observed per-process queue depth.
+	MaxQD int32
+
+	// SizeHist counts requests per size bucket (see SizeBucketLabels).
+	SizeHist [len(sizeBuckets) + 1]int64
+
+	// Sequential counts requests contiguous with the same rank's previous
+	// request (Darshan's SEQ counter); SeqFraction is its share.
+	Sequential int64
+}
+
+// IORequests returns the total I/O request count.
+func (s *AppSummary) IORequests() int64 { return s.Writes + s.Reads }
+
+// SeqFraction returns the share of I/O requests issued sequentially.
+func (s *AppSummary) SeqFraction() float64 {
+	if n := s.IORequests(); n > 0 {
+		return float64(s.Sequential) / float64(n)
+	}
+	return 0
+}
+
+// bucket returns the histogram bucket index of a request size.
+func bucket(n int64) int {
+	for i, edge := range sizeBuckets {
+		if n < edge {
+			return i
+		}
+	}
+	return len(sizeBuckets)
+}
+
+// Summarize computes the per-application digests of a trace, in app order.
+func Summarize(t *Trace) []AppSummary {
+	out := make([]AppSummary, len(t.Header.Apps))
+	// lastEnd[app][rank] tracks each rank's previous request end offset for
+	// the sequential-access counter.
+	lastEnd := make([][]int64, len(t.Header.Apps))
+	for i, a := range t.Header.Apps {
+		out[i] = AppSummary{
+			Name: a.Name, Procs: a.Procs,
+			PhaseStart: a.PhaseStart, PhaseEnd: a.PhaseEnd,
+			MinLat: sim.MaxTime,
+		}
+		lastEnd[i] = make([]int64, a.Procs)
+		for r := range lastEnd[i] {
+			lastEnd[i][r] = -1
+		}
+	}
+	for i := range t.Records {
+		r := &t.Records[i]
+		s := &out[r.App]
+		if r.Op == pfs.OpBarrier {
+			s.Barriers++
+			s.BarrierTime += r.Latency
+			continue
+		}
+		if r.Op == pfs.OpRead {
+			s.Reads++
+			s.BytesRead += r.Bytes
+		} else {
+			s.Writes++
+			s.BytesWritten += r.Bytes
+		}
+		s.IOTime += r.Latency
+		if r.Latency < s.MinLat {
+			s.MinLat = r.Latency
+		}
+		if r.Latency > s.MaxLat {
+			s.MaxLat = r.Latency
+		}
+		if r.QD > s.MaxQD {
+			s.MaxQD = r.QD
+		}
+		s.SizeHist[bucket(r.Bytes)]++
+		if lastEnd[r.App][r.Rank] == r.Off {
+			s.Sequential++
+		}
+		lastEnd[r.App][r.Rank] = r.Off + r.Bytes
+	}
+	for i := range out {
+		s := &out[i]
+		if n := s.IORequests(); n > 0 {
+			s.MeanLat = s.IOTime / sim.Time(n)
+		} else {
+			s.MinLat = 0
+		}
+	}
+	return out
+}
+
+// RenderSummary tabulates the Darshan-style per-application digest.
+// Callers rendering several views compute Summarize(t) once and pass it to
+// each renderer.
+func RenderSummary(title string, sums []AppSummary) *report.Table {
+	tb := report.New(title,
+		"app", "procs", "writes", "reads", "barriers", "MiB_w", "MiB_r",
+		"phase_s", "io_s", "barrier_s", "mean_lat_ms", "max_lat_ms", "max_qd", "seq_pct")
+	for _, s := range sums {
+		tb.Add(s.Name, s.Procs, s.Writes, s.Reads, s.Barriers,
+			float64(s.BytesWritten)/(1<<20), float64(s.BytesRead)/(1<<20),
+			(s.PhaseEnd - s.PhaseStart).Seconds(),
+			s.IOTime.Seconds(), s.BarrierTime.Seconds(),
+			s.MeanLat.Millis(), s.MaxLat.Millis(), s.MaxQD, 100*s.SeqFraction())
+	}
+	return tb
+}
+
+// RenderSizeHist tabulates the per-application request-size histograms.
+func RenderSizeHist(title string, sums []AppSummary) *report.Table {
+	cols := append([]string{"app"}, SizeBucketLabels()...)
+	tb := report.New(title, cols...)
+	for _, s := range sums {
+		row := make([]interface{}, 0, len(cols))
+		row = append(row, s.Name)
+		for _, n := range s.SizeHist {
+			row = append(row, n)
+		}
+		tb.Add(row...)
+	}
+	return tb
+}
+
+// RenderRoundTrip tabulates recorded versus replayed per-application phase
+// windows — the bit-identity verification view.
+func RenderRoundTrip(title string, r *ReplayResult) *report.Table {
+	tb := report.New(title, "app", "recorded_s", "replayed_s", "delta_ns", "identical")
+	for i, a := range r.Apps {
+		rec := r.Recorded[i]
+		tb.Add(a.Name, rec.Elapsed().Seconds(), a.Elapsed.Seconds(),
+			int64(a.Elapsed-rec.Elapsed()),
+			fmt.Sprintf("%v", a.Start == rec.PhaseStart && a.End == rec.PhaseEnd))
+	}
+	return tb
+}

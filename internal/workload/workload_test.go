@@ -136,6 +136,37 @@ func TestPropertyPlansDisjoint(t *testing.T) {
 	}
 }
 
+// Property: for both patterns and varied nprocs, the per-rank extents are
+// pairwise disjoint and together tile [0, FileBytes) exactly — no gap, no
+// overlap, no spill past the end of the shared file.
+func TestPropertyPlanTilesFile(t *testing.T) {
+	f := func(contig bool, np uint8, blocks uint8, xferExp uint8) bool {
+		nprocs := int(np%16) + 1
+		xfer := int64(1) << (10 + xferExp%6) // 1 KiB .. 32 KiB
+		block := xfer * (int64(blocks%8) + 1)
+		s := Spec{Pattern: Strided, BlockBytes: block, TransferSize: xfer}
+		if contig {
+			s = Spec{Pattern: Contiguous, BlockBytes: block}
+		}
+		var all []Extent
+		for r := 0; r < nprocs; r++ {
+			all = append(all, s.Plan(r, nprocs)...)
+		}
+		sort.Slice(all, func(i, j int) bool { return all[i].Off < all[j].Off })
+		var cur int64
+		for _, e := range all {
+			if e.Off != cur || e.Size <= 0 {
+				return false // gap (or overlap: a duplicate offset sorts before cur)
+			}
+			cur += e.Size
+		}
+		return cur == s.FileBytes(nprocs)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestPlanPanics(t *testing.T) {
 	for _, fn := range []func(){
 		func() { Spec{Pattern: Contiguous, BlockBytes: 0}.Plan(0, 1) },
