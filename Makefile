@@ -3,9 +3,12 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_5.json
+BENCH_OUT ?= BENCH_6.json
+# BENCH_PREV is the previous PR's committed snapshot; bench-check fails when
+# a serial-path benchmark regressed beyond the benchguard tolerance.
+BENCH_PREV ?= BENCH_5.json
 
-.PHONY: test race bench scenarios mitigate trace
+.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace
 
 # Tier-1: everything, full grids.
 test:
@@ -58,4 +61,21 @@ bench:
 		-benchmem -benchtime 0.5s -count 5 -json . > $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkFigure2SyncOn$$' \
 		-benchmem -benchtime 1x -count 3 -json . >> $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkSharded(Figure2|Scenario)' \
+		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
+
+# bench-check guards the serial-path perf trajectory: the previous PR's
+# committed snapshot against the fresh one, with a generous cross-machine
+# tolerance (see cmd/benchguard). Sharded benches are excluded — their
+# wall-clock depends on the runner's core count, not on code quality.
+bench-check:
+	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT) \
+		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn)'
+
+# fuzz-short gives each native fuzz target a brief coverage-guided run on
+# top of its committed seed corpus — long enough to catch a fresh parser
+# or codec panic, short enough for every CI push.
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz 'FuzzScenarioSpec' -fuzztime 20s ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz 'FuzzTraceFormat' -fuzztime 20s ./internal/trace/

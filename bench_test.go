@@ -19,6 +19,7 @@ package repro
 // and stay serial.
 
 import (
+	"fmt"
 	"testing"
 
 	"repro/internal/cluster"
@@ -264,6 +265,62 @@ func BenchmarkReadInterference(b *testing.B) {
 		g := benchPool.RunDelta(core.DeltaSpec{Cfg: cfg, Apps: apps, Deltas: core.Deltas()})
 		b.ReportMetric(g.PeakIF(), "IF")
 		b.ReportMetric(g.Alone[0].Seconds(), "alone_s")
+	}
+}
+
+// --- Sharded event kernel ---------------------------------------------------
+
+// shardCounts is the shard axis of the sharded-kernel benches. shards=1 is
+// the serial determinism oracle; the other counts split the servers over
+// worker shards. Results are bit-identical at every count (the scenario
+// conformance suite pins this), so these benches measure pure wall-clock:
+// the speedup on multi-core hosts, and the window-synchronization overhead
+// on single-core hosts, where ShardSet.Run degenerates to the sequential
+// window loop.
+var shardCounts = []int{1, 2, 4}
+
+// BenchmarkShardedFigure2 runs the paper's Figure 2 contended co-run (two
+// contiguous writers, sync on) as ONE simulation per iteration at each
+// shard count — the single-big-scenario case the Shards knob exists for.
+// Scale divisor 4 keeps 3 servers so shards=4 reaches the maximal
+// clients+servers split.
+func BenchmarkShardedFigure2(b *testing.B) {
+	cfg := paper.Config(4)
+	apps := core.TwoAppSpecs(cfg, paper.ProcsPerApp(cfg), cfg.CoresPerNode, paper.ContigSpec())
+	for _, k := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := core.PrepareSharded(cfg, apps, k).Run()
+				events = res.Diag.Events
+			}
+			b.ReportMetric(float64(events), "events")
+		})
+	}
+}
+
+// BenchmarkShardedScenario runs a 12-server four-writer pile-up — enough
+// server shards for the 4-shard split to matter on multi-core hosts — as
+// one simulation per iteration at each shard count.
+func BenchmarkShardedScenario(b *testing.B) {
+	cfg := cluster.Default() // full 12-server platform
+	wl := workload.Spec{BlockBytes: 16 << 20, TransferSize: 256 << 10}
+	var apps []core.AppSpec
+	for i := 0; i < 4; i++ {
+		apps = append(apps, core.AppSpec{
+			Name: core.AppName(i), Procs: 32,
+			FirstNode: i * 2, ProcsPerNode: 16, Workload: wl,
+		})
+	}
+	for _, k := range shardCounts {
+		b.Run(fmt.Sprintf("shards=%d", k), func(b *testing.B) {
+			var events uint64
+			for i := 0; i < b.N; i++ {
+				res := core.PrepareSharded(cfg, apps, k).Run()
+				events = res.Diag.Events
+			}
+			b.ReportMetric(float64(events), "events")
+		})
 	}
 }
 

@@ -1,0 +1,165 @@
+// benchguard compares two `go test -json` benchmark snapshots (the
+// BENCH_N.json files the Makefile's bench target writes) and fails when a
+// benchmark regressed beyond a tolerance factor.
+//
+// It guards the *serial-path* trajectory across PRs: the bench job runs it
+// with the previous PR's committed snapshot as -old and the fresh one as
+// -new. The tolerance is deliberately generous — snapshots come from
+// different CI machines (different CPUs, frequencies, neighbors), so only
+// a gross regression (default 1.5×) is a signal rather than noise.
+//
+// Usage:
+//
+//	benchguard -old BENCH_5.json -new BENCH_6.json [-tolerance 1.5] [-match regexp]
+//
+// Benchmarks present in only one file are reported but never fail the
+// guard (new benches appear, old ones retire).
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// testEvent is the subset of the `go test -json` event stream we read.
+type testEvent struct {
+	Action string
+	Output string
+}
+
+// readBenchLines reassembles the textual output of a -json stream. Long
+// benchmark result lines are split across multiple Output events, so the
+// stream is concatenated first and split on newlines after.
+func readBenchLines(path string) ([]string, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var text strings.Builder
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev testEvent
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s: %w", path, err)
+		}
+		if ev.Action == "output" {
+			text.WriteString(ev.Output)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return strings.Split(text.String(), "\n"), nil
+}
+
+// benchLine matches one standard benchmark result line:
+//
+//	BenchmarkName[-procs] <tab> iters <tab> 123.4 ns/op [more metrics]
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.e+]+) ns/op`)
+
+// parse returns ns/op samples per benchmark name.
+func parse(lines []string) map[string][]float64 {
+	out := make(map[string][]float64)
+	for _, line := range lines {
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		v, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			continue
+		}
+		out[m[1]] = append(out[m[1]], v)
+	}
+	return out
+}
+
+// median of a non-empty sample set; medians resist the occasional CI
+// scheduling hiccup better than means.
+func median(s []float64) float64 {
+	sorted := append([]float64(nil), s...)
+	sort.Float64s(sorted)
+	n := len(sorted)
+	if n%2 == 1 {
+		return sorted[n/2]
+	}
+	return (sorted[n/2-1] + sorted[n/2]) / 2
+}
+
+func main() {
+	oldPath := flag.String("old", "", "baseline snapshot (previous PR's BENCH_N.json)")
+	newPath := flag.String("new", "", "fresh snapshot to check")
+	tolerance := flag.Float64("tolerance", 1.5, "fail when new median ns/op exceeds old by this factor")
+	match := flag.String("match", ".*", "only guard benchmarks whose name matches this regexp")
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		fmt.Fprintln(os.Stderr, "benchguard: -old and -new are required")
+		os.Exit(2)
+	}
+	re, err := regexp.Compile(*match)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchguard: bad -match: %v\n", err)
+		os.Exit(2)
+	}
+
+	load := func(path string) map[string][]float64 {
+		lines, err := readBenchLines(path)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchguard: %v\n", err)
+			os.Exit(2)
+		}
+		return parse(lines)
+	}
+	oldB, newB := load(*oldPath), load(*newPath)
+
+	names := make([]string, 0, len(oldB))
+	for name := range oldB {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	compared := 0
+	for _, name := range names {
+		if !re.MatchString(name) {
+			continue
+		}
+		newS, ok := newB[name]
+		if !ok {
+			fmt.Printf("SKIP %-45s retired (only in %s)\n", name, *oldPath)
+			continue
+		}
+		compared++
+		o, n := median(oldB[name]), median(newS)
+		ratio := n / o
+		verdict := "ok  "
+		if ratio > *tolerance {
+			verdict = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %-45s old %12.0f ns/op  new %12.0f ns/op  ratio %.2f\n", verdict, name, o, n, ratio)
+	}
+	for name := range newB {
+		if _, ok := oldB[name]; !ok && re.MatchString(name) {
+			fmt.Printf("NEW  %-45s (no baseline)\n", name)
+		}
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchguard: no common benchmarks to compare")
+		os.Exit(1)
+	}
+	if failed {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.2fx tolerance\n", *tolerance)
+		os.Exit(1)
+	}
+	fmt.Printf("benchguard: %d benchmarks within %.2fx of %s\n", compared, *tolerance, *oldPath)
+}

@@ -70,6 +70,7 @@ func realMain() error {
 		replayIn = flag.String("replay", "", "summarize and replay a recorded trace `file`, verifying bit-identical completions")
 		tsv      = flag.Bool("tsv", false, "TSV output instead of aligned tables")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
+		shards   = flag.Int("shards", 0, "event-kernel shards per simulation (0 = each spec's own knob, 1 = serial oracle); results are bit-identical at any value")
 	)
 	flag.Parse()
 
@@ -132,7 +133,7 @@ func realMain() error {
 		backends = []cluster.BackendKind{b}
 	}
 
-	pool := core.Runner{Parallelism: *jobs}
+	pool := core.Runner{Parallelism: *jobs, Shards: *shards}
 	var all []*scenario.Result
 	for _, s := range specs {
 		if s.Trace != nil {

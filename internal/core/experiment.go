@@ -107,9 +107,18 @@ type Experiment struct {
 	Apps     []*App
 }
 
-// Prepare builds the platform and applications.
+// Prepare builds the platform and applications on the serial engine.
 func Prepare(cfg cluster.Config, specs []AppSpec) *Experiment {
-	pl := cluster.Build(cfg)
+	return PrepareSharded(cfg, specs, 1)
+}
+
+// PrepareSharded is Prepare on a sharded platform: `shards` event engines
+// (clients on shard 0, servers spread over the rest — see
+// cluster.BuildSharded). shards <= 1 is the bit-identical serial path;
+// every shard count produces bit-identical results by the sharded kernel's
+// determinism contract, just faster.
+func PrepareSharded(cfg cluster.Config, specs []AppSpec, shards int) *Experiment {
+	pl := cluster.BuildSharded(cfg, shards)
 	x := &Experiment{Platform: pl}
 	for ai, spec := range specs {
 		if err := spec.Validate(cfg); err != nil {
@@ -246,7 +255,7 @@ type RunResult struct {
 // collects results.
 func (x *Experiment) Run() RunResult {
 	x.launch()
-	x.Platform.E.Run()
+	x.Platform.Run()
 	return x.collect()
 }
 
@@ -285,7 +294,7 @@ func (x *Experiment) collect() RunResult {
 			res.Diag.CacheBlocks += c.BlockedWrites()
 		}
 	}
-	res.Diag.Events = pl.E.Executed()
+	res.Diag.Events = pl.EventsExecuted()
 	return res
 }
 

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+// jitterPrograms builds two co-running multi-phase programs with distinct
+// jitter seeds: compute pauses with exponential jitter, a barrier, and an
+// I/O burst, iterated twice. Every random draw in the resulting runs comes
+// from one of the streams under test — the per-rank program generators
+// (seeded only by Program.Seed) and the platform's forked FS.Rand issue
+// jitter.
+func jitterPrograms(cfg cluster.Config) []AppSpec {
+	io := workload.Spec{BlockBytes: 1 << 20, TransferSize: 256 << 10}
+	mk := func(seed uint64) *workload.Program {
+		return &workload.Program{
+			Phases: []workload.Phase{
+				{Kind: workload.PhaseCompute, Compute: 2e6, JitterMean: 1e6},
+				{Kind: workload.PhaseBarrier},
+				{Kind: workload.PhaseIO, IO: io},
+			},
+			Iterations: 2,
+			Seed:       seed,
+		}
+	}
+	apps := TwoAppSpecs(cfg, 8, 4, io)
+	apps[0].Program = mk(11)
+	apps[1].Program = mk(47)
+	return apps
+}
+
+// TestProgramJitterShardIndependence pins the random-stream ownership rule
+// of the sharded kernel: every generator that feeds a simulation — the
+// rank-local program jitter streams (seeded only by Program.Seed) and the
+// platform's FS.Rand issue-jitter fork — lives on shard 0 with the clients
+// that draw from it, so the draw sequences cannot depend on how servers
+// are spread over shards. The observable consequence tested here: runs of
+// seeded multi-phase programs with issue jitter active are bit-identical
+// at every shard count.
+func TestProgramJitterShardIndependence(t *testing.T) {
+	cfg := cluster.Default().Scale(8)
+	if cfg.IssueJitter <= 0 {
+		t.Fatal("test needs issue jitter active to exercise FS.Rand")
+	}
+	apps := jitterPrograms(cfg)
+	want := ""
+	for _, k := range []int{1, 2, 3, 1 + cfg.Servers} {
+		res := PrepareSharded(cfg, apps, k).Run()
+		got := fmt.Sprintf("%+v", res)
+		if k == 1 {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Errorf("shards=%d: program jitter draws depend on shard placement:\n got %s\nwant %s", k, got, want)
+		}
+	}
+}
+
+// TestProgramJitterSeedOnly checks the other half of the stream contract:
+// a program's jitter sequence is a function of its Seed alone. Swapping
+// the co-runner's seed must not change the leading application's draw
+// sequence — its compute-phase schedule shifts only through contention,
+// which a solo run removes entirely. So two solo runs of the same seeded
+// program, embedded in differently-seeded experiments, must match exactly.
+func TestProgramJitterSeedOnly(t *testing.T) {
+	cfg := cluster.Default().Scale(8)
+	run := func(seed uint64, shards int) sim.Time {
+		apps := jitterPrograms(cfg)[:1]
+		apps[0].Program.Seed = seed
+		res := PrepareSharded(cfg, apps, shards).Run()
+		return res.Apps[0].Elapsed
+	}
+	serial := run(11, 1)
+	if got := run(11, 3); got != serial {
+		t.Errorf("same seed, shards=3: elapsed %v != serial %v", got, serial)
+	}
+	if got := run(47, 1); got == serial {
+		t.Errorf("different seeds produced identical elapsed %v — jitter stream not seed-driven", got)
+	}
+}

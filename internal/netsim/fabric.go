@@ -51,6 +51,19 @@ type Params struct {
 	MaxCwnd float64
 }
 
+// Lookahead returns the conservative synchronization bound the transport
+// guarantees between hosts on different shards: every cross-host
+// interaction is delayed by at least the switch's propagation latency
+// (data segments, replies) or the reverse-path ACK latency (ACKs, window
+// updates), so the smaller of the two is a safe sim.ShardSet lookahead.
+func (p Params) Lookahead() sim.Time {
+	la := p.SwitchLatency
+	if p.AckLatency < la {
+		la = p.AckLatency
+	}
+	return la
+}
+
 // DefaultParams models the paper's 10 GbE fabric with Linux-like TCP
 // constants scaled to simulation granularity.
 func DefaultParams() Params {
@@ -118,11 +131,20 @@ func NewFabric(e *sim.Engine, p Params) *Fabric {
 // NewHost adds a host whose NIC runs at bytesPerSec in each direction, with
 // perSeg fixed per-segment processing overhead (protocol/CPU cost).
 func (f *Fabric) NewHost(name string, bytesPerSec float64, perSeg sim.Time) *Host {
+	return f.NewHostOn(f.E, name, bytesPerSec, perSeg)
+}
+
+// NewHostOn adds a host whose NIC lines live on engine e — the shard that
+// owns the host in a sharded simulation. e must be the fabric's engine or
+// another shard of the same sim.ShardSet; all of a host's state (NIC lines,
+// port queue, stats, receiver-side connection state) is then owned by that
+// shard, and the transport routes cross-host events through the set.
+func (f *Fabric) NewHostOn(e *sim.Engine, name string, bytesPerSec float64, perSeg sim.Time) *Host {
 	h := &Host{
 		ID:      len(f.hosts),
 		Name:    name,
-		Egress:  &sim.Line{E: f.E, Rate: bytesPerSec, PerOp: perSeg, Latency: f.P.SwitchLatency},
-		Ingress: &sim.Line{E: f.E, Rate: bytesPerSec, PerOp: perSeg},
+		Egress:  &sim.Line{E: e, Rate: bytesPerSec, PerOp: perSeg, Latency: f.P.SwitchLatency},
+		Ingress: &sim.Line{E: e, Rate: bytesPerSec, PerOp: perSeg},
 		fabric:  f,
 	}
 	f.hosts = append(f.hosts, h)

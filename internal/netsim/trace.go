@@ -35,7 +35,8 @@ func (t *Trace) record(c *Conn, k SampleKind) {
 	if unit <= 0 {
 		unit = 1
 	}
-	t.Times = append(t.Times, c.F.E.Now())
+	// All sample sites (transmit, handleAck, checkRTO) run sender-side.
+	t.Times = append(t.Times, c.srcE().Now())
 	t.Wnd = append(t.Wnd, float64(c.EffectiveWindow())/float64(unit))
 	t.Cwnd = append(t.Cwnd, c.cwnd)
 	t.Acked = append(t.Acked, c.ackedSeq)

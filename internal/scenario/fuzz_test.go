@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzScenarioSpec feeds arbitrary bytes to the scenario JSON parser. The
+// invariants: Parse never panics (notably, oversized size knobs must fail
+// validation instead of overflowing the KiB/MiB shifts into a zero divisor
+// in the strided divisibility check), errors are stable (the same input
+// fails the same way twice), and an accepted spec round-trips — its JSON
+// marshaling parses and validates again to an equal spec.
+func FuzzScenarioSpec(f *testing.F) {
+	for _, s := range Builtin() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"t","trace":{"path":"x"}}`))
+	f.Add([]byte(`{"name":"t","shards":4,"apps":[{"procs":8,"block_mb":16}]}`))
+	f.Add([]byte(`{"name":"t","apps":[{"procs":8,"pattern":"strided","block_mb":16,"transfer_kb":1048576}]}`))
+	f.Add([]byte(`{"name":"t","apps":[{"procs":1,"block_mb":9007199254740992}]}`))
+	f.Add([]byte(`{"name":"overflow","apps":[{"procs":1,"pattern":"strided",` +
+		`"block_mb":1125899906842624,"transfer_kb":18014398509481984}]}`))
+	f.Add([]byte(`{"name":"t","apps":[{"procs":2,"phases":[{"kind":"io","block_mb":4},{"kind":"barrier"}],"iterations":2,"seed":7}]}`))
+	f.Add([]byte(`{`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if _, err2 := Parse(data); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("unstable error: %q then %v", err, err2)
+			}
+			return
+		}
+		out, err := json.Marshal(s)
+		if err != nil {
+			t.Fatalf("marshaling an accepted spec failed: %v", err)
+		}
+		s2, err := Parse(out)
+		if err != nil {
+			t.Fatalf("re-parsing a marshaled accepted spec failed: %v\njson: %s", err, out)
+		}
+		out2, err := json.Marshal(s2)
+		if err != nil || string(out) != string(out2) {
+			t.Fatalf("marshal round-trip drift:\n got %s\nwant %s (err %v)", out2, out, err)
+		}
+	})
+}

@@ -158,6 +158,14 @@ type Spec struct {
 	// application but the first is shifted by δ on top of its start_s.
 	DeltaS []float64 `json:"delta_s,omitempty"`
 
+	// Shards selects the event-kernel parallelism of every simulation the
+	// scenario runs: 0 or 1 is the serial determinism oracle, K >= 2 runs K
+	// independently-clocked shards (clients on shard 0, servers spread over
+	// the rest — see cluster.BuildSharded). Results are bit-identical at
+	// every value; only wall-clock time changes. A Runner.Shards override
+	// (the CLIs' -shards flag) wins over this knob.
+	Shards int `json:"shards,omitempty"`
+
 	// QoS enables a server-side QoS scheduler on every storage server
 	// (nil = off, the un-mitigated PVFS baseline). For a trace scenario it
 	// configures the replay platform (counterfactual what-if replay).
@@ -232,6 +240,18 @@ func (q *QoS) Params() (qos.Params, error) {
 	return p, nil
 }
 
+// Size caps keep the friendly-unit knobs inside int64 byte arithmetic: a
+// value past the cap would overflow the <<10 / <<20 conversion — a corrupt
+// or adversarial file could even shift block or transfer sizes to exactly
+// zero and crash the divisibility check with a division by zero — so
+// Validate rejects it with a stable error instead. The limits are far
+// beyond any meaningful scenario.
+const (
+	maxBlockMB    = 1 << 20 // 1 TiB per process
+	maxTransferKB = 1 << 21 // 2 GiB per request
+	maxStripeKB   = 1 << 21 // 2 GiB stripe
+)
+
 // patternNames are the valid App.Pattern values.
 var patternNames = []string{"contiguous", "strided"}
 
@@ -275,7 +295,7 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Apps) > 0 || len(s.DeltaS) > 0 || s.Backend != "" || s.Sync != "" ||
 			s.Nodes != 0 || s.CoresPerNode != 0 || s.Servers != 0 ||
-			s.StripeKB != 0 || s.SSDChannels != 0 {
+			s.StripeKB != 0 || s.SSDChannels != 0 || s.Shards != 0 {
 			return fmt.Errorf("scenario %q: a trace scenario replays the recorded platform; "+
 				"apps and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
 		}
@@ -297,8 +317,12 @@ func (s Spec) Validate() error {
 	if _, err := parseSync(s.Sync); err != nil {
 		return fmt.Errorf("scenario %q: %w", s.Name, err)
 	}
-	if s.Nodes < 0 || s.CoresPerNode < 0 || s.Servers < 0 || s.StripeKB < 0 || s.SSDChannels < 0 {
+	if s.Nodes < 0 || s.CoresPerNode < 0 || s.Servers < 0 || s.StripeKB < 0 ||
+		s.SSDChannels < 0 || s.Shards < 0 {
 		return fmt.Errorf("scenario %q: negative platform parameter", s.Name)
+	}
+	if s.StripeKB > maxStripeKB {
+		return fmt.Errorf("scenario %q: stripe_kb %d exceeds the %d KiB cap", s.Name, s.StripeKB, maxStripeKB)
 	}
 	if s.QoS != nil {
 		if _, err := s.QoS.Params(); err != nil {
@@ -337,6 +361,10 @@ func (s Spec) Validate() error {
 			if a.BlockMB <= 0 {
 				return fmt.Errorf("scenario %q app %q: block_mb must be > 0, got %d", s.Name, label, a.BlockMB)
 			}
+			if a.BlockMB > maxBlockMB || a.TransferKB > maxTransferKB {
+				return fmt.Errorf("scenario %q app %q: block_mb/transfer_kb exceed the %d MiB / %d KiB caps",
+					s.Name, label, maxBlockMB, maxTransferKB)
+			}
 			pat, err := parsePattern(a.Pattern)
 			if err != nil {
 				return fmt.Errorf("scenario %q app %q: %w", s.Name, label, err)
@@ -353,6 +381,10 @@ func (s Spec) Validate() error {
 		}
 		if a.PPN < 0 || a.QD < 0 || a.ThinkMS < 0 || a.StripeKB < 0 || a.StartS < 0 {
 			return fmt.Errorf("scenario %q app %q: negative parameter", s.Name, label)
+		}
+		if a.StripeKB > maxStripeKB {
+			return fmt.Errorf("scenario %q app %q: stripe_kb %d exceeds the %d KiB cap",
+				s.Name, label, a.StripeKB, maxStripeKB)
 		}
 		for _, t := range a.TargetServers {
 			if t < 0 || t >= servers {
@@ -385,6 +417,10 @@ func (ph Phase) validate() error {
 		}
 		if ph.BlockMB <= 0 {
 			return fmt.Errorf("io phase needs block_mb > 0, got %d", ph.BlockMB)
+		}
+		if ph.BlockMB > maxBlockMB || ph.TransferKB > maxTransferKB {
+			return fmt.Errorf("io phase block_mb/transfer_kb exceed the %d MiB / %d KiB caps",
+				maxBlockMB, maxTransferKB)
 		}
 		pat, err := parsePattern(ph.Pattern)
 		if err != nil {
@@ -509,7 +545,7 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		cfg.Srv.QoS = qp
 	}
 
-	spec := core.DeltaSpec{Cfg: cfg}
+	spec := core.DeltaSpec{Cfg: cfg, Shards: s.Shards}
 	node := 0
 	for i, a := range s.Apps {
 		ppn := a.PPN

@@ -14,9 +14,27 @@ type Target interface {
 }
 
 // event is one scheduled entry: a callback due at a simulated time. Events
-// with equal times execute in the order they were scheduled (seq is a
-// monotonically increasing tiebreaker), which keeps simulations
-// deterministic.
+// with equal times execute in (sched, psched, gsched, src, seq) order — the
+// simulated time they were scheduled at, the same stamp one and two levels
+// up the scheduling ancestry (the event executing when they were pushed,
+// and its own pusher), the shard that scheduled them, then a monotonically
+// increasing per-engine tiebreaker — which keeps simulations deterministic.
+//
+// On a single engine the whole prefix is non-decreasing in seq: the clock
+// never runs backwards (sched); events sharing (at, sched) were pushed by
+// parents that themselves executed in psched order at the instant sched;
+// and the same argument applies once more for gsched. So the order reduces
+// to the classic (at, seq) and the serial engine behaves exactly as it
+// always has; the extra keys only discriminate when a ShardSet merges
+// events produced by independently-clocked shards, where they reproduce the
+// serial engine's scheduling order without a global counter: same due time
+// → earlier-sent first (sched); same send time → sender whose own trigger
+// was scheduled earlier first (psched, then gsched); then shard
+// construction order. Three ancestry levels resolve every tie the
+// transport's lockstep paths produce (an ACK's ancestry reaches the
+// sender-shard event that transmitted the segment in three hops); the
+// serial-oracle conformance suite in internal/scenario is the empirical
+// arbiter that no deeper tie occurs.
 //
 // The payload is a tagged union, discriminated by which pointer is set:
 //
@@ -29,13 +47,17 @@ type Target interface {
 // the fn variant may carry a freshly allocated closure, and the hot paths
 // (proc wake-ups, transport segments, device completions) avoid it.
 type event struct {
-	at   Time
-	seq  uint64
-	a, b int64
-	fn   func()
-	p    *Proc
-	tgt  Target
-	op   uint32
+	at     Time
+	sched  Time // simulated time the event was pushed (send time for cross-shard events)
+	psched Time // sched of the event that was executing at push time
+	gsched Time // psched of the event that was executing at push time (grandparent sched)
+	seq    uint64
+	a, b   int64
+	fn     func()
+	p      *Proc
+	tgt    Target
+	op     uint32
+	src    uint32 // shard that scheduled the event (0 on a serial engine)
 }
 
 // Engine is a discrete-event simulation executor. The zero value is not
@@ -46,10 +68,19 @@ type event struct {
 // shared simulation state without locks.
 type Engine struct {
 	now     Time
-	events  []event // min-heap ordered by (at, seq)
+	events  []event // min-heap ordered by (at, sched, psched, gsched, src, seq)
 	seq     uint64
 	yield   chan struct{} // procs hand control back to the loop on this
 	current *Proc         // proc currently holding control, if any
+
+	// shard and set place the engine inside a sharded kernel (ShardSet).
+	// A serial engine has shard 0 and a nil set. curSched/curPsched are the
+	// sched and psched stamps of the event currently dispatching (0 during
+	// setup) — the psched/gsched stamps for any events it pushes.
+	shard     uint32
+	set       *ShardSet
+	curSched  Time
+	curPsched Time
 
 	executed uint64 // events executed so far
 	spawned  int    // procs ever spawned
@@ -86,23 +117,51 @@ func (e *Engine) ProcsSpawned() int { return e.spawned }
 // ---- heap ----------------------------------------------------------------
 //
 // A hand-specialized binary min-heap over the []event slice, keyed on
-// (at, seq). Compared with container/heap this removes the interface boxing
-// on every Push/Pop (two heap allocations per event), the indirect
-// Len/Less/Swap calls, and the zero-write of the vacated tail slot. The
-// trade-off of skipping that zero-write: pointers in the slice's unused tail
-// stay reachable until overwritten by a later push — harmless here because
-// engines live for one simulation and are then dropped wholesale.
+// (at, sched, psched, gsched, src, seq). Compared with container/heap this removes the
+// interface boxing on every Push/Pop (two heap allocations per event), the
+// indirect Len/Less/Swap calls, and the zero-write of the vacated tail slot.
+// The trade-off of skipping that zero-write: pointers in the slice's unused
+// tail stay reachable until overwritten by a later push — harmless here
+// because engines live for one simulation and are then dropped wholesale.
 
-// less orders events by time, then by scheduling order.
+// less orders events by time, then by scheduling time, then by the
+// parent's scheduling time, then by scheduling shard, then by per-engine
+// scheduling order. See the event type comment for why this reduces to
+// (at, seq) on a serial engine.
 func (e *Engine) less(i, j int) bool {
-	if e.events[i].at != e.events[j].at {
-		return e.events[i].at < e.events[j].at
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return e.events[i].seq < e.events[j].seq
+	if a.sched != b.sched {
+		return a.sched < b.sched
+	}
+	if a.psched != b.psched {
+		return a.psched < b.psched
+	}
+	if a.gsched != b.gsched {
+		return a.gsched < b.gsched
+	}
+	if a.src != b.src {
+		return a.src < b.src
+	}
+	return a.seq < b.seq
 }
 
-// push inserts ev, assigning its tiebreaker sequence number.
+// push inserts a locally scheduled event, stamping it with the engine's
+// clock, the dispatching event's sched, and the shard.
 func (e *Engine) push(ev event) {
+	ev.sched = e.now
+	ev.psched = e.curSched
+	ev.gsched = e.curPsched
+	ev.src = e.shard
+	e.pushRaw(ev)
+}
+
+// pushRaw inserts ev with its sched/src stamps already set (the ShardSet
+// drain path injects cross-shard events with the sender's stamps), assigning
+// the tiebreaker sequence number.
+func (e *Engine) pushRaw(ev event) {
 	e.seq++
 	ev.seq = e.seq
 	e.events = append(e.events, ev)
@@ -222,6 +281,8 @@ func (e *Engine) RunUntil(deadline Time) Time {
 			panic("sim: time went backwards")
 		}
 		e.now = ev.at
+		e.curSched = ev.sched
+		e.curPsched = ev.psched
 		e.executed++
 		e.dispatch(ev)
 	}
@@ -239,7 +300,83 @@ func (e *Engine) Step() bool {
 		panic("sim: time went backwards")
 	}
 	e.now = ev.at
+	e.curSched = ev.sched
+	e.curPsched = ev.psched
 	e.executed++
 	e.dispatch(ev)
 	return true
+}
+
+// ---- shard boundary ------------------------------------------------------
+
+// Shard returns the engine's shard index within its ShardSet (0 for a
+// serial engine).
+func (e *Engine) Shard() int { return int(e.shard) }
+
+// NextEventTime reports the due time of the earliest pending event; ok is
+// false when the queue is empty. It is the engine's safe-time report to the
+// ShardSet synchronizer.
+func (e *Engine) NextEventTime() (t Time, ok bool) {
+	if len(e.events) == 0 {
+		return 0, false
+	}
+	return e.events[0].at, true
+}
+
+// sameSet reports whether dst shares a shard set with e (or is e itself),
+// panicking on a cross-engine post with no common synchronizer — that would
+// mutate a foreign heap with no ordering guarantee.
+func (e *Engine) sameSet(dst *Engine) {
+	if e.set == nil || e.set != dst.set {
+		panic("sim: cross-engine post between engines that do not share a ShardSet")
+	}
+}
+
+// PostCall schedules tgt.OnEvent(op, a, b) at absolute time t on engine
+// dst, which may belong to a different shard of the same ShardSet. On the
+// local engine it is exactly AtCall; cross-shard it enqueues a timestamped
+// message in the per-pair mailbox, to be merged into dst's queue at the
+// next synchronization window. Cross-shard t must respect the set's
+// lookahead: t >= e.Now() + lookahead (the shard boundary contract).
+func (e *Engine) PostCall(dst *Engine, t Time, tgt Target, op uint32, a, b int64) {
+	if dst == e {
+		e.AtCall(t, tgt, op, a, b)
+		return
+	}
+	e.sameSet(dst)
+	e.set.post(e, dst, xmsg{at: t, sched: e.now, psched: e.curSched, gsched: e.curPsched, tgt: tgt, op: op, a: a, b: b})
+}
+
+// PostFunc is PostCall for a closure: fn runs at absolute time t on dst.
+func (e *Engine) PostFunc(dst *Engine, t Time, fn func()) {
+	if dst == e {
+		e.At(t, fn)
+		return
+	}
+	e.sameSet(dst)
+	e.set.post(e, dst, xmsg{at: t, sched: e.now, psched: e.curSched, gsched: e.curPsched, fn: fn})
+}
+
+// Applier receives cross-shard state deliveries that are not simulation
+// events: OnApply runs on the destination shard's timeline at the next
+// synchronization window, before any event of that window. It models
+// zero-cost bookkeeping a sender performs on receiver-owned state (e.g. the
+// transport's receiver-side framing mirror) without counting as an executed
+// event — keeping sharded event counts identical to the serial engine's.
+type Applier interface {
+	OnApply(a, b int64, data any)
+}
+
+// PostApply delivers ap.OnApply(a, b, data) to dst's shard. On the local
+// engine it applies synchronously (exactly the serial behavior); cross-shard
+// it is applied when dst's shard next synchronizes. The deferral is safe for
+// state that the destination provably cannot observe before one lookahead
+// has passed — which is the same contract cross-shard events live under.
+func (e *Engine) PostApply(dst *Engine, ap Applier, a, b int64, data any) {
+	if dst == e {
+		ap.OnApply(a, b, data)
+		return
+	}
+	e.sameSet(dst)
+	e.set.post(e, dst, xmsg{sched: e.now, ap: ap, a: a, b: b, data: data})
 }

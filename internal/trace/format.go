@@ -113,19 +113,26 @@ func Read(r io.Reader) (*Trace, error) {
 		return nil, fmt.Errorf("trace: reading record count: %w", err)
 	}
 	count := binary.LittleEndian.Uint64(n[:])
-	// The cap bounds the upfront allocation a corrupt count can demand
-	// (2^31 records is already a >100 GB file) and keeps indices safely
-	// inside the replayer's int32 per-rank buckets.
+	// The cap keeps indices safely inside the replayer's int32 per-rank
+	// buckets (2^31 records is already a >100 GB file).
 	if count > 1<<31-1 {
 		return nil, fmt.Errorf("trace: implausible record count %d", count)
 	}
-	t.Records = make([]Record, count)
+	// Allocate incrementally rather than trusting count up front: a corrupt
+	// or adversarial count field could otherwise demand a ~100 GB slice
+	// before the first record byte is read. Capping the initial capacity
+	// keeps memory proportional to the bytes actually present — a short
+	// stream fails with a read error after a small allocation.
+	const initialCap = 1 << 16
+	t.Records = make([]Record, 0, min(count, initialCap))
 	var buf [recordSize]byte
-	for i := range t.Records {
+	for i := uint64(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("trace: reading record %d of %d: %w", i, count, err)
 		}
-		getRecord(buf[:], &t.Records[i])
+		var rec Record
+		getRecord(buf[:], &rec)
+		t.Records = append(t.Records, rec)
 	}
 	if err := t.Validate(); err != nil {
 		return nil, err
