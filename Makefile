@@ -8,7 +8,7 @@ BENCH_OUT ?= BENCH_6.json
 # a serial-path benchmark regressed beyond the benchguard tolerance.
 BENCH_PREV ?= BENCH_5.json
 
-.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace
+.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults
 
 # Tier-1: everything, full grids.
 test:
@@ -78,4 +78,14 @@ bench-check:
 # or codec panic, short enough for every CI push.
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioSpec' -fuzztime 20s ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz 'FuzzFaultSpec' -fuzztime 20s ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzTraceFormat' -fuzztime 20s ./internal/trace/
+
+# faults smoke: run every fault-injection builtin on HDD at smoke scale
+# (faulted vs healthy-twin comparison plus availability telemetry), then
+# re-check the sharded fault kernel against the serial oracle under the
+# race detector — the crash/retry path is the newest concurrency surface.
+faults:
+	$(GO) run ./cmd/scenarios -faults -smoke -backend hdd -run all
+	$(GO) test -race -run 'FaultShardConformance|FaultScenarioShardConformance' \
+		./internal/core/ ./internal/scenario/

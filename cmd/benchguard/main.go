@@ -13,7 +13,11 @@
 //	benchguard -old BENCH_5.json -new BENCH_6.json [-tolerance 1.5] [-match regexp]
 //
 // Benchmarks present in only one file are reported but never fail the
-// guard (new benches appear, old ones retire).
+// guard (new benches appear, old ones retire): the comparison always runs
+// over the intersection. An empty intersection — a baseline predating
+// every current benchmark — is a warning, not an error: the guard has
+// nothing to check yet, and failing would block the very PR that
+// introduces the benchmarks.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"regexp"
 	"sort"
@@ -121,45 +126,64 @@ func main() {
 	}
 	oldB, newB := load(*oldPath), load(*newPath)
 
-	names := make([]string, 0, len(oldB))
+	if !guard(os.Stdout, oldB, newB, *tolerance, re, *oldPath) {
+		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.2fx tolerance\n", *tolerance)
+		os.Exit(1)
+	}
+}
+
+// guard compares the two snapshots over their intersection, printing one
+// deterministic (sorted) line per benchmark — ok/FAIL for common names,
+// SKIP for retired ones, NEW for benchmarks the baseline predates — and
+// reports whether the guard passes. Missing baselines only warn: the guard
+// checks trajectories, and a benchmark's first snapshot has none.
+func guard(w io.Writer, oldB, newB map[string][]float64, tolerance float64, re *regexp.Regexp, oldPath string) bool {
+	names := make([]string, 0, len(oldB)+len(newB))
 	for name := range oldB {
 		names = append(names, name)
+	}
+	for name := range newB {
+		if _, ok := oldB[name]; !ok {
+			names = append(names, name)
+		}
 	}
 	sort.Strings(names)
 
 	failed := false
-	compared := 0
+	compared, missing := 0, 0
 	for _, name := range names {
 		if !re.MatchString(name) {
 			continue
 		}
-		newS, ok := newB[name]
-		if !ok {
-			fmt.Printf("SKIP %-45s retired (only in %s)\n", name, *oldPath)
-			continue
-		}
-		compared++
-		o, n := median(oldB[name]), median(newS)
-		ratio := n / o
-		verdict := "ok  "
-		if ratio > *tolerance {
-			verdict = "FAIL"
-			failed = true
-		}
-		fmt.Printf("%s %-45s old %12.0f ns/op  new %12.0f ns/op  ratio %.2f\n", verdict, name, o, n, ratio)
-	}
-	for name := range newB {
-		if _, ok := oldB[name]; !ok && re.MatchString(name) {
-			fmt.Printf("NEW  %-45s (no baseline)\n", name)
+		oldS, inOld := oldB[name]
+		newS, inNew := newB[name]
+		switch {
+		case !inNew:
+			fmt.Fprintf(w, "SKIP %-45s retired (only in %s)\n", name, oldPath)
+		case !inOld:
+			missing++
+			fmt.Fprintf(w, "NEW  %-45s (no baseline; not guarded this round)\n", name)
+		default:
+			compared++
+			o, n := median(oldS), median(newS)
+			ratio := n / o
+			verdict := "ok  "
+			if ratio > tolerance {
+				verdict = "FAIL"
+				failed = true
+			}
+			fmt.Fprintf(w, "%s %-45s old %12.0f ns/op  new %12.0f ns/op  ratio %.2f\n", verdict, name, o, n, ratio)
 		}
 	}
 	if compared == 0 {
-		fmt.Fprintln(os.Stderr, "benchguard: no common benchmarks to compare")
-		os.Exit(1)
+		fmt.Fprintf(w, "benchguard: warning: no common benchmarks between the snapshots "+
+			"(%d new without a baseline); nothing to guard yet\n", missing)
+		return true
 	}
 	if failed {
-		fmt.Fprintf(os.Stderr, "benchguard: regression beyond %.2fx tolerance\n", *tolerance)
-		os.Exit(1)
+		return false
 	}
-	fmt.Printf("benchguard: %d benchmarks within %.2fx of %s\n", compared, *tolerance, *oldPath)
+	fmt.Fprintf(w, "benchguard: %d benchmarks within %.2fx of %s (%d new unguarded)\n",
+		compared, tolerance, oldPath, missing)
+	return true
 }

@@ -27,6 +27,20 @@ func main() {
 	)
 	flag.Parse()
 
+	// Range-check before building anything: a zero server count or an
+	// empty half-cluster would otherwise surface as a panic deep in the
+	// platform constructor instead of a usage error.
+	switch {
+	case *nodes < 2:
+		usageErr("-nodes must be >= 2 (the two applications split the nodes)")
+	case *servers < 1:
+		usageErr("-servers must be >= 1")
+	case *delta < 0:
+		usageErr("-delta must be >= 0 seconds")
+	case *app < 0 || *app > 1:
+		usageErr("-app must be 0 or 1")
+	}
+
 	cfg := cluster.Default()
 	cfg.ComputeNodes = *nodes
 	cfg.Servers = *servers
@@ -37,10 +51,6 @@ func main() {
 	apps[1].Start = sim.Seconds(*delta)
 
 	x := core.Prepare(cfg, []core.AppSpec{apps[0], apps[1]})
-	if *app < 0 || *app > 1 {
-		fmt.Fprintln(os.Stderr, "incastprobe: -app must be 0 or 1")
-		os.Exit(1)
-	}
 	tr := x.AttachWindowTrace(*app, 0, 0)
 	res := x.Run()
 
@@ -51,4 +61,12 @@ func main() {
 	for i := range tr.Times {
 		fmt.Printf("%.6f\t%c\t%.1f\t%d\n", tr.Times[i].Seconds(), tr.Kind[i], tr.Wnd[i], tr.Acked[i])
 	}
+}
+
+// usageErr reports a bad flag value the way the flag package itself does:
+// the complaint, then the defaults, then exit status 2.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "incastprobe:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

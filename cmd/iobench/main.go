@@ -42,6 +42,28 @@ func main() {
 	)
 	flag.Parse()
 
+	// Range-check every numeric flag before constructing the platform: a
+	// zero divisor (servers, ppn) or a negative count would otherwise
+	// panic deep in cluster/workload setup instead of printing usage.
+	switch {
+	case *nApps < 1 || *nApps > 2:
+		usageErr("-apps must be 1 or 2")
+	case *procs < 1:
+		usageErr("-procs must be >= 1")
+	case *ppn < 1:
+		usageErr("-ppn must be >= 1")
+	case *nodes < 1:
+		usageErr("-nodes must be >= 1")
+	case *servers < 1:
+		usageErr("-servers must be >= 1")
+	case *qd < 1:
+		usageErr("-qd must be >= 1")
+	case *delta < 0:
+		usageErr("-delta must be >= 0 seconds")
+	case *clientGb <= 0:
+		usageErr("-clientgbps must be > 0")
+	}
+
 	cfg := cluster.Default()
 	cfg.ComputeNodes = *nodes
 	cfg.Servers = *servers
@@ -102,8 +124,18 @@ func main() {
 	fmt.Printf("             %d simulation events\n", d.Events)
 }
 
-// parseSize parses "64K", "4M", "2G" or plain bytes.
+// parseSize parses "64K", "4M", "2G" or plain bytes; sizes must be
+// positive. Exits with usage on a malformed value.
 func parseSize(s string) int64 {
+	v, err := parseSizeErr(s)
+	if err != nil {
+		usageErr(err.Error())
+	}
+	return v
+}
+
+func parseSizeErr(s string) (int64, error) {
+	orig := s
 	s = strings.ToUpper(strings.TrimSpace(s))
 	mult := int64(1)
 	switch {
@@ -116,12 +148,23 @@ func parseSize(s string) int64 {
 	}
 	v, err := strconv.ParseInt(s, 10, 64)
 	if err != nil {
-		fatal(fmt.Errorf("bad size %q", s))
+		return 0, fmt.Errorf("bad size %q", orig)
 	}
-	return v * mult
+	if v <= 0 || v > (1<<62)/mult {
+		return 0, fmt.Errorf("size %q out of range (must be positive)", orig)
+	}
+	return v * mult, nil
 }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "iobench:", err)
 	os.Exit(1)
+}
+
+// usageErr reports a bad flag value the way the flag package itself does:
+// the complaint, then the defaults, then exit status 2.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "iobench:", msg)
+	flag.Usage()
+	os.Exit(2)
 }

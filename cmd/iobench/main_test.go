@@ -1,0 +1,24 @@
+package main
+
+import "testing"
+
+func TestParseSizeErr(t *testing.T) {
+	good := map[string]int64{
+		"64":   64,
+		"64K":  64 << 10,
+		" 4m ": 4 << 20,
+		"2G":   2 << 30,
+	}
+	for in, want := range good {
+		got, err := parseSizeErr(in)
+		if err != nil || got != want {
+			t.Errorf("parseSizeErr(%q) = %d, %v; want %d", in, got, err, want)
+		}
+	}
+	bad := []string{"", "x", "4X", "-1", "0", "-4K", "9999999999G", "1.5M"}
+	for _, in := range bad {
+		if got, err := parseSizeErr(in); err == nil {
+			t.Errorf("parseSizeErr(%q) = %d, want error", in, got)
+		}
+	}
+}

@@ -14,11 +14,14 @@
 // (see SCENARIOS.md) on HDD and SSD; "mitigate" sweeps every built-in
 // scenario on HDD under each server-side QoS scheduler — off, fairshare,
 // tokenbucket, controller (internal/qos) — and prints the per-scenario
-// Pareto view: interference removed versus aggregate throughput paid; and
+// Pareto view: interference removed versus aggregate throughput paid;
 // "trace" records the periodic-checkpoint builtin at request level
 // (internal/trace), prints its Darshan-style summary, replays it
-// bit-identically and replays it again under fair-share QoS.
-// Note: for these three experiments any -scale > 1 selects the fixed smoke
+// bit-identically and replays it again under fair-share QoS; and "faults"
+// runs every built-in fault scenario (internal/fault: deterministic server
+// crashes, degraded devices, link flaps) against its healthy twin and
+// reports IF-under-faults plus the availability ledger.
+// Note: for these extension experiments any -scale > 1 selects the fixed smoke
 // grid (procs/8, volume/16, ≤3 δ points) rather than acting as a divisor;
 // cmd/scenarios is the richer single-scheduler driver (-run, -file,
 // -backend, -smoke, -qos, -trace, -replay).
@@ -66,7 +69,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, trace, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, trace, faults, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
@@ -255,6 +258,10 @@ func (r *runner) one(id string) error {
 		if err := r.trace(); err != nil {
 			return err
 		}
+	case "faults":
+		if err := r.faults(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -353,6 +360,39 @@ func (r *runner) trace() error {
 	}
 	r.emit(trace.RenderRoundTrip(
 		fmt.Sprintf("%s on hdd: counterfactual replay under qos=fairshare", s.Name), qrep))
+	return nil
+}
+
+// faults runs every built-in fault scenario's healthy-vs-faulted
+// comparison on HDD and SSD: the same apps twice, with and without the
+// injected crash/degrade timeline, reported as IF-under-faults plus the
+// availability ledger. -scale > 1 selects the smoke grid, like the
+// scenarios experiment; cmd/scenarios -faults is the finer driver.
+func (r *runner) faults() error {
+	ran := false
+	for _, s := range scenario.Builtin() {
+		if s.Faults == nil {
+			continue
+		}
+		if r.scale > 1 {
+			s = s.Smoke()
+		}
+		axis, err := s.Backends()
+		if err != nil {
+			return err
+		}
+		for _, b := range axis {
+			fc, err := scenario.CompareFaults(s, b, paper.Pool.Shards)
+			if err != nil {
+				return err
+			}
+			r.emit(scenario.RenderFaults(s, b, fc), scenario.RenderAvailability(s, b, fc))
+			ran = true
+		}
+	}
+	if !ran {
+		return fmt.Errorf("no built-in fault scenarios in the registry")
+	}
 	return nil
 }
 

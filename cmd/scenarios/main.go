@@ -15,6 +15,13 @@
 //	scenarios -run periodic-checkpoint-4 -trace ckpt.trace   # record a trace
 //	scenarios -replay ckpt.trace             # summarize + replay + verify
 //	scenarios -replay ckpt.trace -qos fairshare      # counterfactual replay
+//	scenarios -faults -run server-crash-checkpoint   # healthy vs faulted
+//
+// -faults runs each selected fault scenario (one with a "faults" block —
+// a deterministic timeline of server crashes, degraded devices and link
+// flaps, see SCENARIOS.md) twice: once with the plan stripped and once as
+// given, and prints per-app IF-under-faults plus the availability ledger
+// (downtime, discarded bytes, RPC timeouts, retries, goodput vs offered).
 //
 // -qos runs every selected scenario with the named server-side QoS
 // scheduler (off, fairshare, tokenbucket, controller) at its calibrated
@@ -68,6 +75,7 @@ func realMain() error {
 		qosName  = flag.String("qos", "", "run under a server-side QoS `scheduler` (off, fairshare, tokenbucket, controller), overriding the spec")
 		traceOut = flag.String("trace", "", "record the selected scenario's delta=0 co-run to a trace `file` and summarize it")
 		replayIn = flag.String("replay", "", "summarize and replay a recorded trace `file`, verifying bit-identical completions")
+		faults   = flag.Bool("faults", false, "run each selected fault scenario's healthy-vs-faulted comparison (the scenario needs a faults block)")
 		tsv      = flag.Bool("tsv", false, "TSV output instead of aligned tables")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 		shards   = flag.Int("shards", 0, "event-kernel shards per simulation (0 = each spec's own knob, 1 = serial oracle); results are bit-identical at any value")
@@ -133,6 +141,10 @@ func realMain() error {
 		backends = []cluster.BackendKind{b}
 	}
 
+	if *faults {
+		return runFaults(os.Stdout, specs, backends, *smoke, *shards, *tsv)
+	}
+
 	pool := core.Runner{Parallelism: *jobs, Shards: *shards}
 	var all []*scenario.Result
 	for _, s := range specs {
@@ -176,6 +188,52 @@ func realMain() error {
 		return nil
 	}
 	return emit(os.Stdout, *tsv, scenario.RenderSummary(all))
+}
+
+// runFaults runs every selected fault scenario's healthy-vs-faulted
+// comparison and prints the per-app IF-under-faults table plus the
+// availability ledger. Selected scenarios without a faults block are an
+// error: asking for a fault comparison of a fault-free scenario is a typo,
+// not a no-op.
+func runFaults(w io.Writer, specs []scenario.Spec, backends []cluster.BackendKind,
+	smoke bool, shards int, tsv bool) error {
+	ran := 0
+	for _, s := range specs {
+		if s.Faults == nil {
+			if len(specs) == 1 {
+				return fmt.Errorf("scenario %q has no faults block; see SCENARIOS.md or -run %s",
+					s.Name, strings.Join(scenario.FaultNames(), ","))
+			}
+			continue // "-run all -faults" means "every fault scenario"
+		}
+		if smoke {
+			s = s.Smoke()
+		}
+		axis := backends
+		if axis == nil {
+			var err error
+			if axis, err = s.Backends(); err != nil {
+				return err
+			}
+		}
+		for _, b := range axis {
+			fc, err := scenario.CompareFaults(s, b, shards)
+			if err != nil {
+				return err
+			}
+			if err := emit(w, tsv,
+				scenario.RenderFaults(s, b, fc),
+				scenario.RenderAvailability(s, b, fc)); err != nil {
+				return err
+			}
+			ran++
+		}
+	}
+	if ran == 0 {
+		return fmt.Errorf("no selected scenario has a faults block (built-ins: %s)",
+			strings.Join(scenario.FaultNames(), ", "))
+	}
+	return nil
 }
 
 // selectSpecs resolves the -file / -run selection into an ordered spec list.

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/pfs"
 	"repro/internal/sim"
@@ -104,6 +105,14 @@ type Config struct {
 	// Seed drives all randomized choices (none in the core model, but
 	// probes and failure injection fork from it).
 	Seed uint64
+
+	// Faults, when non-nil, is the deterministic fault timeline injected
+	// into the platform. It activates the whole fault surface: every
+	// server's device is wrapped in a storage.Degraded, the client RPC
+	// layer switches to deadline/retry (Faults.Retry), and the plan's
+	// events are scheduled at build time on each target server's shard.
+	// nil builds a platform bit-identical to a fault-free one.
+	Faults *fault.Plan
 }
 
 // GbE10 and GbE1 are NIC rates in bytes/second.
@@ -178,6 +187,11 @@ func (c Config) Validate() error {
 	case c.StripeSize <= 0:
 		return fmt.Errorf("cluster: StripeSize must be positive")
 	}
+	if c.Faults != nil {
+		if err := c.Faults.Validate(c.Servers); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -198,10 +212,27 @@ type Platform struct {
 	// nodes [a..b] shares the NIC of node a + i/CoresPerNode.
 	Nodes []*netsim.Host
 	// Servers, Devices and Caches are indexed by server id. Caches[i] is
-	// nil unless Sync is SyncOff.
-	Servers []*pfs.Server
-	Devices []storage.Device
-	Caches  []*storage.WriteCache
+	// nil unless Sync is SyncOff. Devices are the raw backend devices;
+	// Degraded[i] is the fault wrapper the server actually talks to, nil
+	// unless a fault plan was configured.
+	Servers  []*pfs.Server
+	Devices  []storage.Device
+	Caches   []*storage.WriteCache
+	Degraded []*storage.Degraded
+}
+
+// NominalBW returns the backend's nominal sequential bandwidth — the
+// baseline a DeviceDegrade throughput factor is relative to.
+func NominalBW(c Config) float64 {
+	switch c.Backend {
+	case HDD:
+		return c.HDD.SeqBW
+	case SSD:
+		return c.SSD.BW
+	case RAM:
+		return c.RAM.BW
+	}
+	return 0 // Null: Degraded falls back to its internal default
 }
 
 // NewDevice builds one backend device according to the config (exported so
@@ -237,14 +268,15 @@ func Build(c Config) *Platform {
 	sp.Sync = c.Sync
 	for i := 0; i < c.Servers; i++ {
 		host := fab.NewHost(fmt.Sprintf("srv%d", i), c.ServerNIC, c.PerSeg)
-		dev := NewDevice(e, c)
+		dev, sdev, deg := newBackend(e, c)
 		var cache *storage.WriteCache
 		if c.Sync == pfs.SyncOff {
-			cache = storage.NewWriteCache(e, c.Cache, dev)
+			cache = storage.NewWriteCache(e, c.Cache, sdev)
 		}
-		pl.Servers = append(pl.Servers, pfs.NewServer(e, i, host, dev, cache, sp))
+		pl.Servers = append(pl.Servers, pfs.NewServer(e, i, host, sdev, cache, sp))
 		pl.Devices = append(pl.Devices, dev)
 		pl.Caches = append(pl.Caches, cache)
+		pl.Degraded = append(pl.Degraded, deg)
 	}
 	for i := 0; i < c.ComputeNodes; i++ {
 		pl.Nodes = append(pl.Nodes, fab.NewHost(fmt.Sprintf("node%d", i), c.ClientNIC, c.PerSeg))
@@ -252,7 +284,46 @@ func Build(c Config) *Platform {
 	pl.FS = pfs.NewFileSystem(e, fab, pl.Servers)
 	pl.FS.Rand = pl.Rand.Fork()
 	pl.FS.IssueJitter = c.IssueJitter
+	pl.installFaults()
 	return pl
+}
+
+// newBackend builds one backend device, wrapped in a Degraded fault shim
+// when a fault plan is configured. Returns the raw device, the device the
+// server stack should talk to, and the shim (nil without faults).
+func newBackend(e *sim.Engine, c Config) (raw, use storage.Device, deg *storage.Degraded) {
+	dev := NewDevice(e, c)
+	if c.Faults == nil {
+		return dev, dev, nil
+	}
+	d := storage.NewDegraded(e, dev, NominalBW(c))
+	return dev, d, d
+}
+
+// installFaults activates the fault surface of a freshly built platform:
+// the client retry policy and the plan's events, each scheduled at setup
+// time on the engine owning its target server. No-op without a fault plan.
+func (pl *Platform) installFaults() {
+	p := pl.Cfg.Faults
+	if p == nil {
+		return
+	}
+	pl.FS.EnableRetry(p.Retry)
+	hooks := make([]fault.Hooks, len(pl.Servers))
+	for i, srv := range pl.Servers {
+		deg := pl.Degraded[i]
+		host := srv.Host
+		hooks[i] = fault.Hooks{
+			E:         srv.E,
+			Crash:     srv.Crash,
+			Restart:   srv.Restart,
+			Degrade:   deg.Degrade,
+			Restore:   deg.Restore,
+			SetLink:   host.SetLinkDown,
+			LossBurst: host.StartLossBurst,
+		}
+	}
+	fault.Schedule(p, hooks)
 }
 
 // BuildSharded assembles the platform across `shards` independently-clocked
@@ -293,14 +364,15 @@ func BuildSharded(c Config, shards int) *Platform {
 	for i := 0; i < c.Servers; i++ {
 		se := set.Engine(1 + i*srvShards/c.Servers)
 		host := fab.NewHostOn(se, fmt.Sprintf("srv%d", i), c.ServerNIC, c.PerSeg)
-		dev := NewDevice(se, c)
+		dev, sdev, deg := newBackend(se, c)
 		var cache *storage.WriteCache
 		if c.Sync == pfs.SyncOff {
-			cache = storage.NewWriteCache(se, c.Cache, dev)
+			cache = storage.NewWriteCache(se, c.Cache, sdev)
 		}
-		pl.Servers = append(pl.Servers, pfs.NewServer(se, i, host, dev, cache, sp))
+		pl.Servers = append(pl.Servers, pfs.NewServer(se, i, host, sdev, cache, sp))
 		pl.Devices = append(pl.Devices, dev)
 		pl.Caches = append(pl.Caches, cache)
+		pl.Degraded = append(pl.Degraded, deg)
 	}
 	for i := 0; i < c.ComputeNodes; i++ {
 		pl.Nodes = append(pl.Nodes, fab.NewHost(fmt.Sprintf("node%d", i), c.ClientNIC, c.PerSeg))
@@ -308,6 +380,7 @@ func BuildSharded(c Config, shards int) *Platform {
 	pl.FS = pfs.NewFileSystem(e, fab, pl.Servers)
 	pl.FS.Rand = pl.Rand.Fork()
 	pl.FS.IssueJitter = c.IssueJitter
+	pl.installFaults()
 	return pl
 }
 

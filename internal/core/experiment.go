@@ -184,19 +184,27 @@ func (x *Experiment) launch() {
 
 // runBurst executes one I/O burst — the rank's request plan for wl — with
 // the spec's queue depth. It is the whole phase of a single-burst app and
-// one PhaseIO step of a program.
+// one PhaseIO step of a program. On a platform with a fault plan the
+// client's retrying RPC path is used, and an ErrUnavailable (retries
+// exhausted against a crashed or partitioned server) stalls the process
+// for the policy's Resume pause before re-issuing the same request —
+// stall-and-resume, the way a real MPI job rides out a PFS failover.
 func runBurst(p *sim.Proc, cl *pfs.Client, app *App, wl workload.Spec, rank int) {
 	plan := wl.Plan(rank, app.Spec.Procs)
 	qd := wl.QD
 	think := sim.Time(wl.ThinkTime)
+	retrying := cl.Retrying()
 	if qd <= 1 {
 		for _, ext := range plan {
 			if think > 0 {
 				p.Sleep(think)
 			}
-			if wl.Read {
+			switch {
+			case retrying:
+				retryBlocking(p, cl, app.File, ext.Off, ext.Size, wl.Read)
+			case wl.Read:
 				cl.Read(p, app.File, ext.Off, ext.Size)
-			} else {
+			default:
 				cl.Write(p, app.File, ext.Off, ext.Size)
 			}
 		}
@@ -210,6 +218,30 @@ func runBurst(p *sim.Proc, cl *pfs.Client, app *App, wl workload.Spec, rank int)
 		if think > 0 {
 			p.Sleep(think)
 		}
+		if retrying {
+			// The pipelined twin of stall-and-resume: hold the queue-depth
+			// slot across the stall and re-issue until the request lands.
+			ext := ext
+			resume := cl.RetryPolicy().Resume
+			var issue func()
+			onErr := func(err error) {
+				if err == nil {
+					sem.Release()
+					gate.Done(e)
+					return
+				}
+				e.Schedule(resume, issue)
+			}
+			issue = func() {
+				if wl.Read {
+					cl.ReadAsyncRetry(app.File, ext.Off, ext.Size, onErr)
+				} else {
+					cl.WriteAsyncRetry(app.File, ext.Off, ext.Size, onErr)
+				}
+			}
+			issue()
+			continue
+		}
 		done := func() {
 			sem.Release()
 			gate.Done(e)
@@ -221,6 +253,26 @@ func runBurst(p *sim.Proc, cl *pfs.Client, app *App, wl workload.Spec, rank int)
 		}
 	}
 	gate.Wait(p)
+}
+
+// retryBlocking performs one blocking transfer on the retrying path,
+// stalling Resume and re-issuing on ErrUnavailable until it succeeds (the
+// fault plan's validation guarantees crashed servers restart, so this
+// terminates).
+func retryBlocking(p *sim.Proc, cl *pfs.Client, f *pfs.File, off, size int64, read bool) {
+	resume := cl.RetryPolicy().Resume
+	for {
+		var err error
+		if read {
+			err = cl.ReadRetry(p, f, off, size)
+		} else {
+			err = cl.WriteRetry(p, f, off, size)
+		}
+		if err == nil {
+			return
+		}
+		p.Sleep(resume)
+	}
 }
 
 // AppResult is the outcome of one application's I/O phase.
@@ -243,6 +295,22 @@ type Diag struct {
 	DeviceBytes int64
 	CacheBlocks int64 // writes stalled on the dirty limit
 	Events      uint64
+	Avail       AvailDiag // availability counters (all zero without faults)
+}
+
+// AvailDiag aggregates the platform's availability telemetry: server-side
+// outage accounting and the client retry layer's counters. Everything is
+// zero on a fault-free platform.
+type AvailDiag struct {
+	Crashes        int64    // fail-stop events across all servers
+	Downtime       sim.Time // summed server downtime
+	DiscardedBytes int64    // wire bytes servers read and threw away
+	LinkDrops      int64    // segments dropped by down links / loss bursts
+	RPCTimeouts    int64    // client sub-request deadline expirations
+	Retries        int64    // client resends
+	Failures       int64    // sub-requests that surfaced ErrUnavailable
+	GoodputBytes   int64    // chunk bytes actually stored or returned
+	OfferedBytes   int64    // chunk bytes clients pushed at servers
 }
 
 // RunResult is the outcome of a single experiment run.
@@ -294,6 +362,18 @@ func (x *Experiment) collect() RunResult {
 			res.Diag.CacheBlocks += c.BlockedWrites()
 		}
 	}
+	av := &res.Diag.Avail
+	for _, s := range pl.Servers {
+		a := s.Tel.Avail(s.E.Now())
+		av.Crashes += a.Crashes
+		av.Downtime += a.Downtime
+		av.DiscardedBytes += a.DiscardedBytes
+		av.GoodputBytes += s.Tel.GoodputBytes()
+		av.OfferedBytes += s.Tel.OfferedBytes()
+	}
+	av.LinkDrops = pl.Fabric.TotalLinkDrops()
+	ca := pl.FS.TotalClientAvail()
+	av.RPCTimeouts, av.Retries, av.Failures = ca.Timeouts, ca.Retries, ca.Failures
 	res.Diag.Events = pl.EventsExecuted()
 	return res
 }

@@ -1,0 +1,103 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+func TestParseKindRoundTrip(t *testing.T) {
+	for _, name := range KindNames() {
+		k, err := ParseKind(name)
+		if err != nil {
+			t.Fatalf("ParseKind(%q): %v", name, err)
+		}
+		if k.String() != name {
+			t.Fatalf("Kind round trip: %q -> %v -> %q", name, k, k.String())
+		}
+	}
+	if _, err := ParseKind("meteor-strike"); err == nil {
+		t.Fatal("ParseKind accepted an unknown kind")
+	}
+}
+
+func TestPlanValidate(t *testing.T) {
+	ok := func(events ...Event) *Plan { return &Plan{Events: events} }
+	cases := []struct {
+		name string
+		plan *Plan
+		want string // substring of the error; "" = valid
+	}{
+		{"empty", ok(), ""},
+		{"crash-restart", ok(
+			Event{Kind: ServerCrash, Server: 1, At: sim.Second},
+			Event{Kind: ServerRestart, Server: 1, At: 2 * sim.Second}), ""},
+		{"crash-unpaired", ok(
+			Event{Kind: ServerCrash, Server: 1, At: sim.Second}),
+			"never restarts"},
+		{"link-unpaired", ok(
+			Event{Kind: LinkDown, Server: 0, At: sim.Second}),
+			"never comes back up"},
+		{"server-out-of-range", ok(
+			Event{Kind: DeviceDegrade, Server: 9, At: sim.Second, Factor: 2}),
+			"server"},
+		{"degrade-factor-below-one", ok(
+			Event{Kind: DeviceDegrade, Server: 0, At: sim.Second, Factor: 0.5}),
+			"factor"},
+		{"loss-burst-no-duration", ok(
+			Event{Kind: LossBurst, Server: 0, At: sim.Second}),
+			"duration"},
+		{"negative-time", ok(
+			Event{Kind: LossBurst, Server: 0, At: -sim.Second, Duration: sim.Second}),
+			"time"},
+	}
+	for _, tc := range cases {
+		err := tc.plan.Validate(4)
+		if tc.want == "" {
+			if err != nil {
+				t.Errorf("%s: unexpected error: %v", tc.name, err)
+			}
+			continue
+		}
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestScheduleFiresOnOwningEngine: each event lands on its server's engine
+// at the event's absolute time, and nil hooks are a no-op rather than a
+// panic.
+func TestScheduleFiresOnOwningEngine(t *testing.T) {
+	e0, e1 := sim.NewEngine(), sim.NewEngine()
+	var got []string
+	p := &Plan{Events: []Event{
+		{Kind: ServerCrash, Server: 1, At: sim.Second},
+		{Kind: ServerRestart, Server: 1, At: 2 * sim.Second},
+		{Kind: DeviceDegrade, Server: 0, At: sim.Second, Factor: 3, Latency: sim.Millisecond},
+		{Kind: LossBurst, Server: 0, At: 3 * sim.Second, Duration: sim.Second},
+	}}
+	if err := p.Validate(2); err != nil {
+		t.Fatal(err)
+	}
+	Schedule(p, []Hooks{
+		{E: e0, Degrade: func(f float64, l sim.Time) {
+			if f != 3 || l != sim.Millisecond {
+				t.Errorf("degrade knobs = %v, %v", f, l)
+			}
+			got = append(got, "degrade@0")
+		}}, // LossBurst hook nil: must be a no-op
+		{E: e1, Crash: func() { got = append(got, "crash@1") },
+			Restart: func() { got = append(got, "restart@1") }},
+	})
+	e0.Run()
+	e1.Run()
+	want := "degrade@0,crash@1,restart@1"
+	if s := strings.Join(got, ","); s != want {
+		t.Fatalf("fired %q, want %q", s, want)
+	}
+	if e0.Now() != sim.Second || e1.Now() != 2*sim.Second {
+		t.Fatalf("engines stopped at %v / %v", e0.Now(), e1.Now())
+	}
+}

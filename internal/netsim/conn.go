@@ -235,6 +235,12 @@ func (c *Conn) transmit(seq, size int64) {
 		c.Trace.sampleSend(c)
 	}
 	c.armRTO()
+	if c.Src.down {
+		// Administratively-down sender link: the segment dies at the NIC.
+		// The RTO just armed recovers it after the link comes back.
+		c.Src.stats.LinkDrops++
+		return
+	}
 	// Reserve NIC service sender-side; the arrival at the receiver's switch
 	// port is a receiver-shard event (delivery time >= now + SwitchLatency,
 	// within the lookahead contract).
@@ -245,6 +251,12 @@ func (c *Conn) transmit(seq, size int64) {
 // arriveAtPort is the segment reaching the receiver's switch port.
 func (c *Conn) arriveAtPort(seq, size int64) {
 	h := c.Dst
+	if h.lossyAt(c.dstE().Now()) {
+		// Admin-down receiver link or loss-burst window: the segment is
+		// dropped before the port queue; the sender recovers via RTO.
+		h.stats.LinkDrops++
+		return
+	}
 	if h.portQ+size > c.F.P.PortBuf {
 		h.stats.PortDrops++
 		h.stats.PortDropped += size
@@ -316,12 +328,20 @@ func (c *Conn) ReadHead() *Message {
 // sendAck sends a cumulative ACK carrying the current advertised window. It
 // runs receiver-side; the ACK lands at the sender AckLatency later.
 func (c *Conn) sendAck() {
+	if c.Dst.down {
+		return // admin-down link: no reverse path either
+	}
 	de := c.dstE()
 	de.PostCall(c.srcE(), de.Now()+c.F.P.AckLatency, c, opAck, c.rcvNext, c.F.P.Rmem-c.Unread())
 }
 
 // handleAck runs at the sender when an ACK/window update arrives.
 func (c *Conn) handleAck(ack, rwnd int64) {
+	if c.Src.down {
+		// The ACK was in flight when the sender's link went down; drop it.
+		c.Src.stats.LinkDrops++
+		return
+	}
 	c.rwndEst = rwnd
 	if ack > c.ackedSeq {
 		advanced := ack - c.ackedSeq
@@ -413,6 +433,12 @@ func (c *Conn) checkRTO(deadline sim.Time) {
 // the server's egress NIC and the switch, but no congestion control — the
 // forward data path dwarfs replies.
 func (c *Conn) Reply(size int64, meta interface{}) {
+	if c.Dst.down {
+		// Admin-down server link: the reply is lost. The client-side retry
+		// layer (when active) recovers via its per-request deadline.
+		c.Dst.stats.LinkDrops++
+		return
+	}
 	// Reserve the server's NIC, deliver on the client's shard (delivery is
 	// at least SwitchLatency away — the Egress line's propagation delay).
 	at := c.Dst.Egress.Reserve(size)

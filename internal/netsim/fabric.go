@@ -87,6 +87,7 @@ type HostStats struct {
 	PortDropped int64 // bytes dropped
 	SegsIn      int64 // segments accepted into the port queue
 	BytesIn     int64
+	LinkDrops   int64 // segments dropped by an admin-down link or loss burst
 }
 
 // Host is a machine on the fabric with a full-duplex NIC.
@@ -103,6 +104,14 @@ type Host struct {
 	fabric *Fabric
 	portQ  int64 // bytes queued at/in the ingress line
 	stats  HostStats
+
+	// down marks the link administratively down (fault injection): data
+	// segments to and from the host, its ACKs and its replies are dropped
+	// until it is cleared. lossUntil is the end of a loss-burst window
+	// during which only arriving data segments are dropped. Both are owned
+	// by the host's shard, like every other field.
+	down      bool
+	lossUntil sim.Time
 }
 
 // Stats returns the host's cumulative counters.
@@ -110,6 +119,29 @@ func (h *Host) Stats() HostStats { return h.stats }
 
 // PortQueued returns the bytes currently in the ingress port queue.
 func (h *Host) PortQueued() int64 { return h.portQ }
+
+// SetLinkDown administratively downs (true) or restores (false) the host's
+// link. While down, every data segment crossing the link is dropped in
+// either direction, as are the host's ACKs and replies; senders recover
+// through RTO backoff once the link is restored. Must be called from the
+// host's own shard.
+func (h *Host) SetLinkDown(down bool) { h.down = down }
+
+// LinkDown reports whether the link is administratively down.
+func (h *Host) LinkDown() bool { return h.down }
+
+// StartLossBurst opens (or extends) a deterministic loss window: for d from
+// now, every data segment arriving at the host's port is dropped. ACKs and
+// replies still flow. Must be called from the host's own shard.
+func (h *Host) StartLossBurst(d sim.Time) {
+	until := h.Egress.E.Now() + d
+	if until > h.lossUntil {
+		h.lossUntil = until
+	}
+}
+
+// lossyAt reports whether a data segment arriving at time now is dropped.
+func (h *Host) lossyAt(now sim.Time) bool { return h.down || now < h.lossUntil }
 
 // Fabric is the cluster network: hosts joined by one switch.
 type Fabric struct {
@@ -162,6 +194,15 @@ func (f *Fabric) TotalPortDrops() int64 {
 	var n int64
 	for _, h := range f.hosts {
 		n += h.stats.PortDrops
+	}
+	return n
+}
+
+// TotalLinkDrops sums admin-down and loss-burst drops across all hosts.
+func (f *Fabric) TotalLinkDrops() int64 {
+	var n int64
+	for _, h := range f.hosts {
+		n += h.stats.LinkDrops
 	}
 	return n
 }

@@ -94,6 +94,65 @@ func TestRTOBackoffAndReset(t *testing.T) {
 	}
 }
 
+// TestRTOBackoffDoublingCapAndReset pins the exact RTO schedule the
+// transport promises: each timeout doubles the timer, the doubling clamps
+// at RTOMax, and the first ack progress after the network heals snaps it
+// back to RTOBase. An admin-down server link (the fault layer's knob)
+// silently eats the acks, which is precisely the blackout that must not
+// turn into a tight retransmit loop.
+func TestRTOBackoffDoublingCapAndReset(t *testing.T) {
+	e := sim.NewEngine()
+	p := DefaultParams()
+	p.RTOBase = 10 * sim.Millisecond
+	p.RTOMax = 80 * sim.Millisecond
+	f := NewFabric(e, p)
+	src := f.NewHost("c", 1.25e9, 0)
+	dst := f.NewHost("s", 1.25e9, 0)
+	c := f.Dial(src, dst, 0)
+	c.OnReadable = func(cc *Conn, m *Message) { cc.ReadHead() }
+
+	dst.SetLinkDown(true) // data arrives; every ack dies at the server NIC
+	c.Send(&Message{Size: 64 << 10})
+	if c.rto != p.RTOBase {
+		t.Fatalf("initial rto = %v, want RTOBase %v", c.rto, p.RTOBase)
+	}
+
+	// Timeouts fire at ~10, 30, 70, 150ms (each arming the doubled timer);
+	// the checkpoints sit safely between them. The run is deterministic,
+	// so the backed-off timer value at each point is exact.
+	steps := []struct {
+		until    sim.Time
+		timeouts int64
+		rto      sim.Time
+	}{
+		{20 * sim.Millisecond, 1, 20 * sim.Millisecond},
+		{45 * sim.Millisecond, 2, 40 * sim.Millisecond},
+		{100 * sim.Millisecond, 3, 80 * sim.Millisecond},
+		{200 * sim.Millisecond, 4, 80 * sim.Millisecond}, // capped, not 160ms
+	}
+	for _, s := range steps {
+		e.RunUntil(s.until)
+		if got := c.Stats().Timeouts; got != s.timeouts {
+			t.Fatalf("at %v: timeouts = %d, want %d", s.until, got, s.timeouts)
+		}
+		if c.rto != s.rto {
+			t.Fatalf("at %v: rto = %v, want %v", s.until, c.rto, s.rto)
+		}
+	}
+	if dst.Stats().LinkDrops == 0 {
+		t.Fatal("admin-down link recorded no drops")
+	}
+
+	dst.SetLinkDown(false)
+	e.Run()
+	if c.AckedBytes() != 64<<10 {
+		t.Fatalf("acked %d after the link came back, want the full message", c.AckedBytes())
+	}
+	if c.rto != p.RTOBase {
+		t.Fatalf("rto = %v after progress, want reset to RTOBase %v", c.rto, p.RTOBase)
+	}
+}
+
 // TestManyFlowsConservation is a randomized soak: many flows with mixed
 // sizes against one server port; every byte delivered exactly once.
 func TestManyFlowsConservation(t *testing.T) {

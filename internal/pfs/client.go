@@ -41,7 +41,14 @@ func (cl *Client) ConnTo(srv *Server) *netsim.Conn {
 	}
 	c := cl.fs.Fabric.Dial(cl.Host, srv.Host, cl.App)
 	c.OnReadable = srv.onReadable
-	c.OnReply = func(meta interface{}) { meta.(*replyMsg).req.replied() }
+	c.OnReply = func(meta interface{}) {
+		r := meta.(*replyMsg)
+		if r.st != nil && r.st.sub != nil {
+			r.st.sub.reply(r.st)
+			return
+		}
+		r.req.replied()
+	}
 	cl.conns[srv.ID] = c
 	return c
 }

@@ -3,6 +3,7 @@ package pfs
 import (
 	"fmt"
 
+	"repro/internal/fault"
 	"repro/internal/netsim"
 	"repro/internal/sim"
 	"repro/internal/storage"
@@ -28,7 +29,83 @@ type FileSystem struct {
 	// path record-free; internal/trace attaches its Recorder here.
 	Sink IOSink
 
+	// Retry, when non-nil, is the deployment's client RPC retry policy
+	// (installed by EnableRetry). nil keeps the legacy no-deadline request
+	// path bit-identical to a pre-fault deployment.
+	Retry *fault.RetryPolicy
+
 	nextClient int
+	avail      []ClientAvail // per-application client-side availability
+	budget     []int64       // per-application remaining retry budget
+}
+
+// EnableRetry installs the client RPC retry policy (defaults applied).
+func (fs *FileSystem) EnableRetry(rp fault.RetryPolicy) {
+	p := rp.WithDefaults()
+	fs.Retry = &p
+}
+
+// growApp ensures the per-application availability state covers app.
+func (fs *FileSystem) growApp(app int) {
+	for len(fs.avail) <= app {
+		fs.avail = append(fs.avail, ClientAvail{})
+		b := int64(0)
+		if fs.Retry != nil {
+			b = fs.Retry.Budget
+		}
+		fs.budget = append(fs.budget, b)
+	}
+}
+
+// noteTimeout counts one sub-request deadline expiry for app.
+func (fs *FileSystem) noteTimeout(app int) {
+	fs.growApp(app)
+	fs.avail[app].Timeouts++
+}
+
+// noteFailure counts one sub-request giving up with ErrUnavailable.
+func (fs *FileSystem) noteFailure(app int) {
+	fs.growApp(app)
+	fs.avail[app].Failures++
+}
+
+// takeRetry consumes one unit of app's retry budget, counting the resend.
+// A non-positive configured budget is unlimited.
+func (fs *FileSystem) takeRetry(app int) bool {
+	fs.growApp(app)
+	if fs.Retry != nil && fs.Retry.Budget > 0 {
+		if fs.budget[app] <= 0 {
+			return false
+		}
+		fs.budget[app]--
+	}
+	fs.avail[app].Retries++
+	return true
+}
+
+// AvailApps returns how many application IDs have client-side availability
+// state.
+func (fs *FileSystem) AvailApps() int { return len(fs.avail) }
+
+// ClientAvailFor returns app's client-side availability counters (zero
+// value if unobserved).
+func (fs *FileSystem) ClientAvailFor(app int) ClientAvail {
+	if app < 0 || app >= len(fs.avail) {
+		return ClientAvail{}
+	}
+	return fs.avail[app]
+}
+
+// TotalClientAvail sums the client-side availability counters over all
+// applications.
+func (fs *FileSystem) TotalClientAvail() ClientAvail {
+	var t ClientAvail
+	for _, a := range fs.avail {
+		t.Timeouts += a.Timeouts
+		t.Retries += a.Retries
+		t.Failures += a.Failures
+	}
+	return t
 }
 
 // jitteredIssue returns the request's queue-ordering timestamp for one

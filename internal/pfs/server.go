@@ -110,7 +110,8 @@ type ServerStats struct {
 	Bytes     int64
 	Replies   int64
 	Requests  int64
-	MaxQueued int // high-water mark of the request backlog
+	MaxQueued int   // high-water mark of the request backlog
+	Crashes   int64 // fail-stop events injected into this server
 }
 
 // Server is one PVFS storage daemon: a host on the fabric, a CPU, a flow
@@ -142,10 +143,16 @@ type Server struct {
 	adv        qos.DepthAdvisor // s.sched's depth lever, nil if not offered
 	qview      []qos.Request    // reusable scheduler view of reqQueue
 	// activeReqs lists the requests currently holding flow slots, in grant
-	// order — maintained only when a depth advisor is active, so that an
-	// application's budget-blocked requests can resume when any of its
-	// chunks completes. nil on the legacy path (zero overhead).
+	// order. A depth advisor uses it to resume an application's
+	// budget-blocked requests when any of its chunks completes; a crash uses
+	// it to kill every request holding a slot. Slice appends reuse capacity
+	// and schedule nothing, so maintaining it unconditionally is free.
 	activeReqs []*srvReqState
+
+	// down marks the server crashed (fail-stop): every queued and in-flight
+	// request was killed, and chunks arriving while down are read off the
+	// wire and discarded.
+	down bool
 
 	// wakeArmed/wakeAt bound the retry events a throttling scheduler asks
 	// for: at most one useful wake-up is in flight at a time.
@@ -212,6 +219,59 @@ func (s *Server) AppDepth(app int) int {
 // FreeFlows returns the number of idle flow slots.
 func (s *Server) FreeFlows() int { return s.freeFlows }
 
+// Down reports whether the server is currently crashed.
+func (s *Server) Down() bool { return s.down }
+
+// Crash fail-stops the server: every queued and active request dies (its
+// buffered chunks are read off the wire and discarded, so receive-buffer
+// space is freed and the one-read-per-announced-message invariant holds),
+// all flow slots are reclaimed, and until Restart every arriving chunk is
+// discarded the same way. Chunks already handed to the CPU or device keep
+// flowing through the pipeline but complete into dead requests, which
+// no-op. Clients see the crash as silence — no replies — and recover
+// through their own deadline/retry machinery.
+func (s *Server) Crash() {
+	if s.down {
+		return
+	}
+	s.down = true
+	s.stats.Crashes++
+	s.Tel.MarkDown(s.E.Now())
+	for _, st := range s.reqQueue {
+		s.abortReq(st)
+	}
+	s.reqQueue = s.reqQueue[:0]
+	for _, st := range s.activeReqs {
+		s.abortReq(st)
+	}
+	s.activeReqs = s.activeReqs[:0]
+	s.freeFlows = s.P.FlowBufs
+}
+
+// Restart brings a crashed server back. State that died with the crash
+// stays dead; new requests are served normally from here on.
+func (s *Server) Restart() {
+	if !s.down {
+		return
+	}
+	s.down = false
+	s.Tel.MarkUp(s.E.Now())
+	s.pump()
+}
+
+// abortReq kills one request's share on this server: marks it dead (late
+// completions and late chunks no-op / discard) and drains its buffered
+// chunks off the socket.
+func (s *Server) abortReq(st *srvReqState) {
+	st.dead = true
+	st.active = false
+	for _, m := range st.pending {
+		st.conn.ReadHead()
+		s.Tel.Discard(m.Size)
+	}
+	st.pending = st.pending[:0]
+}
+
 // QueuedRequests returns how many requests await a flow slot.
 func (s *Server) QueuedRequests() int { return len(s.reqQueue) }
 
@@ -228,6 +288,16 @@ func (s *Server) newFileID() storage.FileID {
 func (s *Server) onReadable(c *netsim.Conn, m *netsim.Message) {
 	ck := m.Meta.(*chunkMsg)
 	st := ck.srvState
+	if s.down || st.dead {
+		// Crashed server (or a request the crash killed): read the chunk
+		// off the wire and throw it away. Marking the request dead makes
+		// its later chunks — possibly arriving after a restart — die too;
+		// the client's retry layer sends a fresh request state per attempt.
+		st.dead = true
+		c.ReadHead()
+		s.Tel.Discard(m.Size)
+		return
+	}
 	st.pending = append(st.pending, m)
 	if !st.arrived {
 		st.arrived = true
@@ -314,6 +384,9 @@ func (s *Server) allowance() int {
 // pump grants free flow slots to queued requests until the slots run out,
 // the queue drains, or the scheduler withholds the grant (throttled).
 func (s *Server) pump() {
+	if s.down {
+		return
+	}
 	for s.freeFlows > 0 && len(s.reqQueue) > 0 {
 		i := s.pick()
 		if i < 0 {
@@ -325,9 +398,7 @@ func (s *Server) pump() {
 		s.freeFlows--
 		st.active = true
 		s.Tel.Grant(st.conn.App, st.bytes)
-		if s.adv != nil {
-			s.activeReqs = append(s.activeReqs, st)
-		}
+		s.activeReqs = append(s.activeReqs, st)
 		s.consume(st)
 	}
 }
@@ -339,6 +410,9 @@ func (s *Server) pump() {
 // reopens the TCP window, so the flow self-clocks: the socket refills
 // while earlier chunks are stored.
 func (s *Server) consume(st *srvReqState) {
+	if st.dead {
+		return
+	}
 	depth := s.allowance()
 	if depth <= 0 {
 		depth = 1
@@ -371,9 +445,12 @@ func (s *Server) store(c *netsim.Conn, ck *chunkMsg) {
 		// Read chunk: fetch from the device and ship the data back on the
 		// reply path; each chunk replies individually with its data.
 		done := func() {
+			if ck.srvState.dead {
+				return
+			}
 			s.stats.Replies++
 			s.Tel.Done(c.App, ck.size)
-			c.Reply(ck.size, &replyMsg{req: ck.req})
+			c.Reply(ck.size, &replyMsg{req: ck.req, st: ck.srvState})
 			s.readChunkDone(ck.srvState)
 		}
 		if s.P.Sync == NullAIO {
@@ -408,12 +485,15 @@ func (s *Server) store(c *netsim.Conn, ck *chunkMsg) {
 // on this server is stored, it replies and frees the flow slot.
 func (s *Server) chunkDone(c *netsim.Conn, ck *chunkMsg) {
 	st := ck.srvState
+	if st.dead {
+		return
+	}
 	st.remaining--
 	st.inflight--
 	s.Tel.Done(c.App, ck.size)
 	if st.remaining == 0 {
 		s.stats.Replies++
-		c.Reply(s.P.RespBytes, &replyMsg{req: ck.req})
+		c.Reply(s.P.RespBytes, &replyMsg{req: ck.req, st: st})
 		s.finishFlow(st)
 		return
 	}
@@ -422,6 +502,9 @@ func (s *Server) chunkDone(c *netsim.Conn, ck *chunkMsg) {
 
 // readChunkDone accounts a served read chunk and frees the flow at the end.
 func (s *Server) readChunkDone(st *srvReqState) {
+	if st.dead {
+		return
+	}
 	st.remaining--
 	st.inflight--
 	if st.remaining == 0 {
@@ -457,14 +540,14 @@ func (s *Server) finishFlow(st *srvReqState) {
 	st.active = false
 	s.freeFlows++
 	s.Tel.Finish(st.conn.App)
-	if s.adv != nil {
-		for i, a := range s.activeReqs {
-			if a == st {
-				copy(s.activeReqs[i:], s.activeReqs[i+1:])
-				s.activeReqs = s.activeReqs[:len(s.activeReqs)-1]
-				break
-			}
+	for i, a := range s.activeReqs {
+		if a == st {
+			copy(s.activeReqs[i:], s.activeReqs[i+1:])
+			s.activeReqs = s.activeReqs[:len(s.activeReqs)-1]
+			break
 		}
+	}
+	if s.adv != nil {
 		// The finished flow's last chunk freed budget head-room its
 		// sibling flows may be blocked on.
 		s.refillApp(st.conn.App)

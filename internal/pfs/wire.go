@@ -31,14 +31,27 @@ type srvReqState struct {
 	conn     *netsim.Conn
 	arrived  bool
 	active   bool
+	dead     bool              // killed by a server crash; chunks are discarded
 	inflight int               // chunks being processed/stored right now
 	pending  []*netsim.Message // readable chunks not yet pulled from the socket
+
+	// Client-side retry state (only set on the retrying RPC path). sub is
+	// the sub-request this attempt belongs to; cgot counts replies received
+	// for this attempt. These fields are written exclusively by client-shard
+	// events, the fields above exclusively by server-shard events — the
+	// struct is the wire-visible descriptor both sides annotate, and the
+	// field-level split is what keeps it race-free under sharding.
+	sub  *subOp
+	cgot int
 }
 
 // replyMsg is the server's completion notification for one request (write)
-// or one chunk of data (read).
+// or one chunk of data (read). st identifies which attempt the reply
+// answers — the retry layer uses it to route and to ignore replies to
+// requests it already gave up on.
 type replyMsg struct {
 	req *clientReq
+	st  *srvReqState
 }
 
 // clientReq is the client-side handle of an in-flight request. cl and
@@ -46,11 +59,18 @@ type replyMsg struct {
 // and, when a trace sink is attached, to the request's trace record (recIdx
 // is -1 when recording is off; cl is nil only for degenerate zero-extent
 // requests that never reach a server).
+//
+// Exactly one of onDone/onErr is set: onDone on the legacy path (remaining
+// counts replies), onErr on the retrying RPC path (remaining counts
+// sub-requests; err carries ErrUnavailable if any of them failed).
 type clientReq struct {
-	remaining int // replies still expected
+	remaining int // replies (legacy) or sub-requests (retry) still expected
 	onDone    func()
+	onErr     func(error)
 	cl        *Client
 	recIdx    int
+	err       error
+	subs      []subOp
 }
 
 func (r *clientReq) replied() {
@@ -58,13 +78,31 @@ func (r *clientReq) replied() {
 	if r.remaining != 0 {
 		return
 	}
-	if r.cl != nil {
-		r.cl.inflight--
-		if s := r.cl.fs.Sink; s != nil && r.recIdx >= 0 {
-			s.EndRequest(r.recIdx)
-		}
-	}
+	r.finish()
 	if r.onDone != nil {
 		r.onDone()
+	}
+}
+
+// subDone accounts one finished (completed or failed) sub-request of a
+// retrying request.
+func (r *clientReq) subDone() {
+	r.remaining--
+	if r.remaining != 0 {
+		return
+	}
+	r.finish()
+	if r.onErr != nil {
+		r.onErr(r.err)
+	}
+}
+
+func (r *clientReq) finish() {
+	if r.cl == nil {
+		return
+	}
+	r.cl.inflight--
+	if s := r.cl.fs.Sink; s != nil && r.recIdx >= 0 {
+		s.EndRequest(r.recIdx)
 	}
 }

@@ -43,6 +43,23 @@ type AppStats struct {
 // (a queued request or a held flow slot).
 func (a AppStats) Demand() bool { return a.Queued > 0 || a.Active > 0 }
 
+// Availability are one server's fault/availability counters — the
+// partial-failure view of the probe layer. Downtime accumulates closed
+// down intervals; Avail() folds a still-open interval in.
+type Availability struct {
+	// Crashes counts fail-stop events.
+	Crashes int64
+	// Downtime is the accumulated time the server spent down.
+	Downtime sim.Time
+	// DiscardedMsgs / DiscardedBytes count wire messages (and their bytes)
+	// the server read and threw away — chunks arriving while down and
+	// chunks of requests the crash killed. Together with BytesDone they
+	// give goodput-vs-offered: offered = BytesIn + DiscardedBytes, goodput
+	// = BytesDone.
+	DiscardedMsgs  int64
+	DiscardedBytes int64
+}
+
 // Telemetry is one server's probe layer: per-application counters plus a
 // view of the backend device. The pfs server updates it on every request
 // arrival, grant, chunk consumption and completion; schedulers and tests
@@ -53,6 +70,10 @@ type Telemetry struct {
 	queued int
 	active int
 	apps   []AppStats
+
+	avail     Availability
+	down      bool
+	downSince sim.Time
 }
 
 // NewTelemetry builds a probe layer over one backend device (nil is legal:
@@ -142,6 +163,72 @@ func (t *Telemetry) Queued() int { return t.queued }
 
 // Active returns the requests currently holding a flow slot.
 func (t *Telemetry) Active() int { return t.active }
+
+// MarkDown records the server failing at time now. The per-application
+// live gauges (Queued, Active, InFlight and their byte counters) are reset
+// to zero — the crash killed every queued and in-flight request — while
+// the monotone counters keep accumulating across the outage.
+func (t *Telemetry) MarkDown(now sim.Time) {
+	if t.down {
+		return
+	}
+	t.down = true
+	t.downSince = now
+	t.avail.Crashes++
+	for i := range t.apps {
+		a := &t.apps[i]
+		a.Queued, a.QueuedBytes, a.Active, a.InFlight = 0, 0, 0, 0
+	}
+	t.queued, t.active = 0, 0
+}
+
+// MarkUp records the server restarting at time now, closing the open
+// downtime interval.
+func (t *Telemetry) MarkUp(now sim.Time) {
+	if !t.down {
+		return
+	}
+	t.down = false
+	t.avail.Downtime += now - t.downSince
+}
+
+// Down reports whether the server is currently marked down.
+func (t *Telemetry) Down() bool { return t.down }
+
+// Discard records n wire bytes the server read and threw away.
+func (t *Telemetry) Discard(n int64) {
+	t.avail.DiscardedMsgs++
+	t.avail.DiscardedBytes += n
+}
+
+// Avail returns the availability counters as of time now (folding a
+// still-open down interval into Downtime).
+func (t *Telemetry) Avail(now sim.Time) Availability {
+	a := t.avail
+	if t.down && now > t.downSince {
+		a.Downtime += now - t.downSince
+	}
+	return a
+}
+
+// GoodputBytes sums the chunk bytes actually stored or returned.
+func (t *Telemetry) GoodputBytes() int64 {
+	var n int64
+	for i := range t.apps {
+		n += t.apps[i].BytesDone
+	}
+	return n
+}
+
+// OfferedBytes sums every wire byte clients pushed at the server — the
+// consumed pipeline bytes plus everything discarded during outages.
+func (t *Telemetry) OfferedBytes() int64 {
+	n := t.avail.DiscardedBytes
+	for i := range t.apps {
+		n += t.apps[i].BytesIn
+	}
+	return n
+}
 
 // DeviceBusy returns the device's cumulative busy time.
 func (t *Telemetry) DeviceBusy() sim.Time {

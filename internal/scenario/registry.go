@@ -156,7 +156,66 @@ func Builtin() []Spec {
 				{Name: "small-req", Procs: 16, Pattern: "strided", BlockMB: 16, TransferKB: 64},
 			},
 		},
+		// The fault builtins live at the end of the registry: golden
+		// mitigation rows are pinned by registry order, so new entries
+		// append rows without moving existing ones.
+		{
+			Name: "server-crash-checkpoint",
+			Description: "A checkpointing writer and a restart reader ride out a storage-server " +
+				"crash mid-burst: in-flight requests die with the server, the clients' deadlines " +
+				"fire, and capped-backoff retries land the lost work after the restart — the " +
+				"availability cost shows up as IF against the healthy twin (paperrepro -exp faults).",
+			Servers: 4,
+			DeltaS:  []float64{-5, 0, 5},
+			Faults: &FaultBlock{
+				Events: []FaultEvent{
+					{Kind: "server-crash", Server: 1, AtS: 1},
+					{Kind: "server-restart", Server: 1, AtS: 2.2},
+				},
+				DeadlineMS: 1000, BackoffMS: 100, BackoffMaxMS: 800,
+				Retries: 12, RetryBudget: -1, ResumeMS: 250,
+			},
+			Apps: []App{
+				{Name: "checkpoint", Procs: 32, Pattern: "strided", BlockMB: 64, TransferKB: 1024},
+				{Name: "restart", Procs: 8, Pattern: "strided", BlockMB: 8, TransferKB: 256, Read: true},
+			},
+		},
+		{
+			Name: "degraded-ost-victim",
+			Description: "One OST drops to a fraction of its nominal throughput (a rebuilding " +
+				"RAID set) under an app pinned to it, while a striped bulk writer shares the " +
+				"platform: the victim's requests stretch and time out against the slow device, " +
+				"the bystander mostly rides on the healthy servers.",
+			Servers: 4,
+			DeltaS:  []float64{-5, 0, 5},
+			Faults: &FaultBlock{
+				Events: []FaultEvent{
+					{Kind: "device-degrade", Server: 0, AtS: 0.5, Factor: 6, LatencyMS: 2},
+					{Kind: "device-restore", Server: 0, AtS: 3},
+				},
+				DeadlineMS: 1500, BackoffMS: 100, BackoffMaxMS: 800,
+				Retries: 10, RetryBudget: -1, ResumeMS: 250,
+			},
+			Apps: []App{
+				{Name: "victim", Procs: 16, Pattern: "strided", BlockMB: 16, TransferKB: 512,
+					TargetServers: []int{0}},
+				{Name: "bulk", Procs: 16, BlockMB: 32},
+			},
+		},
 	}
+}
+
+// FaultNames returns the names of the built-in scenarios that carry a
+// faults block, sorted.
+func FaultNames() []string {
+	var names []string
+	for _, s := range Builtin() {
+		if s.Faults != nil {
+			names = append(names, s.Name)
+		}
+	}
+	sort.Strings(names)
+	return names
 }
 
 // Names returns the built-in scenario names, sorted.

@@ -3,6 +3,7 @@ package scenario
 import (
 	"fmt"
 
+	"repro/internal/core"
 	"repro/internal/report"
 )
 
@@ -58,6 +59,31 @@ func RenderMatrix(r *Result) *report.Table {
 		}
 		t.Add(row...)
 	}
+	return t
+}
+
+// RenderFaults tabulates a healthy-vs-faulted comparison: per-app elapsed
+// under both arms with the IF-under-faults ratio, then one availability
+// row summing the faulted run's ledger.
+func RenderFaults(s Spec, backend fmt.Stringer, fc core.FaultComparison) *report.Table {
+	t := report.New(fmt.Sprintf("%s on %s: healthy vs faulted (delta=0 co-run)", s.Name, backend),
+		"app", "healthy_s", "faulted_s", "IF_faults")
+	names := AppNames(s)
+	for i := range fc.Faulted.Apps {
+		t.Add(names[i], fc.Healthy.Apps[i].Elapsed.Seconds(),
+			fc.Faulted.Apps[i].Elapsed.Seconds(), fc.IF(i))
+	}
+	return t
+}
+
+// RenderAvailability tabulates the faulted run's availability ledger.
+func RenderAvailability(s Spec, backend fmt.Stringer, fc core.FaultComparison) *report.Table {
+	av := fc.Faulted.Diag.Avail
+	t := report.New(fmt.Sprintf("%s on %s: availability", s.Name, backend),
+		"crashes", "downtime_s", "discarded_mb", "link_drops",
+		"rpc_timeouts", "retries", "failures", "goodput_ratio")
+	t.Add(av.Crashes, av.Downtime.Seconds(), float64(av.DiscardedBytes)/(1<<20),
+		av.LinkDrops, av.RPCTimeouts, av.Retries, av.Failures, fc.GoodputRatio())
 	return t
 }
 

@@ -9,9 +9,13 @@
 // paper's two-application campaigns — multi-app pile-ups, mixed
 // read/write modes, elephant-and-mice asymmetry, staggered arrivals, and
 // partitioned-versus-shared server placements — each exercising one
-// interference mechanism of the paper on both HDD and SSD backends. See
-// SCENARIOS.md at the repository root for the file format and a guided
-// tour of every built-in.
+// interference mechanism of the paper on both HDD and SSD backends. A
+// Spec may additionally carry a faults block (a deterministic fault
+// timeline plus the client retry policy, internal/fault); CompareFaults
+// runs such a scenario against a healthy twin and reports per-app
+// IF-under-faults plus the availability ledger. See SCENARIOS.md at the
+// repository root for the file format and a guided tour of every
+// built-in.
 package scenario
 
 import (
@@ -177,6 +181,13 @@ type Spec struct {
 	// header carries the recorded platform.
 	Trace *TraceBlock `json:"trace,omitempty"`
 
+	// Faults injects a deterministic fault timeline (server crashes,
+	// degraded devices, link flaps) and switches the clients onto the
+	// retrying RPC path (nil = the fault-free platform, bit-identical to a
+	// build without the fault subsystem). Mutually exclusive with Trace — a
+	// replay reproduces a recorded healthy run.
+	Faults *FaultBlock `json:"faults,omitempty"`
+
 	Apps []App `json:"apps,omitempty"`
 }
 
@@ -295,9 +306,9 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Apps) > 0 || len(s.DeltaS) > 0 || s.Backend != "" || s.Sync != "" ||
 			s.Nodes != 0 || s.CoresPerNode != 0 || s.Servers != 0 ||
-			s.StripeKB != 0 || s.SSDChannels != 0 || s.Shards != 0 {
+			s.StripeKB != 0 || s.SSDChannels != 0 || s.Shards != 0 || s.Faults != nil {
 			return fmt.Errorf("scenario %q: a trace scenario replays the recorded platform; "+
-				"apps and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
+				"apps, faults and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
 		}
 		if s.QoS != nil {
 			if _, err := s.QoS.Params(); err != nil {
@@ -332,6 +343,11 @@ func (s Spec) Validate() error {
 	servers := s.Servers
 	if servers == 0 {
 		servers = cluster.Default().Servers
+	}
+	if s.Faults != nil {
+		if err := s.Faults.validate(servers); err != nil {
+			return fmt.Errorf("scenario %q: faults: %w", s.Name, err)
+		}
 	}
 	for i, a := range s.Apps {
 		label := appName(a, i)
@@ -544,6 +560,9 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		}
 		cfg.Srv.QoS = qp
 	}
+	if s.Faults != nil {
+		cfg.Faults = s.Faults.plan()
+	}
 
 	spec := core.DeltaSpec{Cfg: cfg, Shards: s.Shards}
 	node := 0
@@ -650,6 +669,15 @@ func (s Spec) Smoke() Spec {
 	out.DeltaS = make([]float64, len(ds))
 	for i, d := range ds {
 		out.DeltaS[i] = d / timeDiv
+	}
+	// The fault timeline rides the same time axis as δ and start_s — an
+	// event that lands mid-burst at full scale lands at the same fraction
+	// of the shrunken burst — while the RPC-scale retry knobs shrink only
+	// with the per-process volume (the 16 above): per-request latency does
+	// not shrink with the process count, and a deadline scaled below it
+	// would turn the smoke run into a divergent retry storm.
+	if s.Faults != nil {
+		out.Faults = s.Faults.smoke(timeDiv, 16)
 	}
 	// Nodes: re-derive from the shrunken apps when the original pinned a
 	// node count (auto-sized scenarios re-fit in Build anyway).
