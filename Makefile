@@ -3,12 +3,12 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_6.json
+BENCH_OUT ?= BENCH_8.json
 # BENCH_PREV is the previous PR's committed snapshot; bench-check fails when
 # a serial-path benchmark regressed beyond the benchguard tolerance.
-BENCH_PREV ?= BENCH_5.json
+BENCH_PREV ?= BENCH_6.json
 
-.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults
+.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults fleet
 
 # Tier-1: everything, full grids.
 test:
@@ -63,6 +63,8 @@ bench:
 		-benchmem -benchtime 1x -count 3 -json . >> $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkSharded(Figure2|Scenario)' \
 		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkFleetScenario$$' \
+		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # bench-check guards the serial-path perf trajectory: the previous PR's
@@ -71,7 +73,7 @@ bench:
 # wall-clock depends on the runner's core count, not on code quality.
 bench-check:
 	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT) \
-		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn)'
+		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn|FleetScenario)'
 
 # fuzz-short gives each native fuzz target a brief coverage-guided run on
 # top of its committed seed corpus — long enough to catch a fresh parser
@@ -79,7 +81,15 @@ bench-check:
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz 'FuzzScenarioSpec' -fuzztime 20s ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzFaultSpec' -fuzztime 20s ./internal/scenario/
+	$(GO) test -run '^$$' -fuzz 'FuzzPopulationSpec' -fuzztime 20s ./internal/scenario/
 	$(GO) test -run '^$$' -fuzz 'FuzzTraceFormat' -fuzztime 20s ./internal/trace/
+
+# fleet smoke: run the generated 1024-tenant population builtin (sharded,
+# under the race detector — the fleet fan-out is the widest concurrent
+# surface) at smoke scale. Smoke keeps the tenant count and class mix and
+# shrinks per-tenant weight, so this still exercises a ≥1000-app launch.
+fleet:
+	$(GO) run -race ./cmd/scenarios -smoke -run fleet -shards 4
 
 # faults smoke: run every fault-injection builtin on HDD at smoke scale
 # (faulted vs healthy-twin comparison plus availability telemetry), then

@@ -28,6 +28,7 @@ import (
 	"repro/internal/paper"
 	"repro/internal/pfs"
 	"repro/internal/qos"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/storage"
 	iotrace "repro/internal/trace"
@@ -321,6 +322,40 @@ func BenchmarkShardedScenario(b *testing.B) {
 			}
 			b.ReportMetric(float64(events), "events")
 		})
+	}
+}
+
+// --- Fleet-scale population --------------------------------------------------
+
+// BenchmarkFleetScenario runs the generated 1024-tenant population builtin
+// (internal/population) at smoke scale through the fleet summarizer: one
+// 1024-app co-run, one alone baseline per distinct tenant shape and the
+// seeded pairwise sample. Parallelism and shards are forced to 1 so ns/op
+// measures the serial simulation path independent of the runner's core
+// count — this is the largest single simulation in the bench suite and the
+// one whose wall-clock tracks fleet-scale usability.
+func BenchmarkFleetScenario(b *testing.B) {
+	s, err := scenario.Lookup("fleet")
+	if err != nil {
+		b.Fatal(err)
+	}
+	s = s.Smoke()
+	backends, err := s.Backends()
+	if err != nil {
+		b.Fatal(err)
+	}
+	pool := core.Runner{Parallelism: 1, Shards: 1}
+	for i := 0; i < b.N; i++ {
+		f, err := scenario.RunFleet(s, backends[0], pool)
+		if err != nil {
+			b.Fatal(err)
+		}
+		v := f.IFPercentiles(50, 95)
+		b.ReportMetric(float64(len(f.Tenants)), "tenants")
+		b.ReportMetric(float64(f.Core.Shapes), "shapes")
+		b.ReportMetric(float64(f.Core.CoRun.Diag.Events), "events")
+		b.ReportMetric(v[0], "p50_IF")
+		b.ReportMetric(v[1], "p95_IF")
 	}
 }
 

@@ -20,7 +20,11 @@
 // bit-identically and replays it again under fair-share QoS; and "faults"
 // runs every built-in fault scenario (internal/fault: deterministic server
 // crashes, degraded devices, link flaps) against its healthy twin and
-// reports IF-under-faults plus the availability ledger.
+// reports IF-under-faults plus the availability ledger; and "fleet" runs
+// every generated-population builtin (internal/population: ≥1000 tenants,
+// Zipf volumes, Poisson arrivals) through the fleet summarizer — per-class
+// IF distributions, slowdown-vs-alone percentiles and sampled
+// aggressor/victim pairs instead of the infeasible N×N matrix.
 // Note: for these extension experiments any -scale > 1 selects the fixed smoke
 // grid (procs/8, volume/16, ≤3 δ points) rather than acting as a divisor;
 // cmd/scenarios is the richer single-scheduler driver (-run, -file,
@@ -69,7 +73,7 @@ func main() {
 }
 
 func realMain() error {
-	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, trace, faults, all)")
+	exp := flag.String("exp", "all", "experiment id (table1, fig2..fig12, table2, ablation-policy, ablation-read, scenarios, mitigate, trace, faults, fleet, all)")
 	scale := flag.Int("scale", 1, "platform scale divisor (1 = paper size)")
 	coarse := flag.Bool("coarse", false, "use coarse 5-point delta grids")
 	format := flag.String("format", "ascii", "output format: ascii or tsv")
@@ -262,6 +266,10 @@ func (r *runner) one(id string) error {
 		if err := r.faults(); err != nil {
 			return err
 		}
+	case "fleet":
+		if err := r.fleet(); err != nil {
+			return err
+		}
 	default:
 		return fmt.Errorf("unknown experiment %q", id)
 	}
@@ -393,6 +401,35 @@ func (r *runner) faults() error {
 	if !ran {
 		return fmt.Errorf("no built-in fault scenarios in the registry")
 	}
+	return nil
+}
+
+// fleet runs every generated-population builtin on its pinned backend axis
+// through the fleet summarizer and emits the per-class, percentile and
+// top-pair views plus the campaign summary. -scale > 1 selects the smoke
+// grid (volume/16, procs/8, time knobs/128), like the other extension
+// experiments; the tenant count and class mix are preserved, so the smoke
+// fleet is the full fleet at reduced per-tenant weight.
+func (r *runner) fleet() error {
+	var all []*scenario.FleetResult
+	for _, s := range scenario.FleetBuiltin() {
+		if r.scale > 1 {
+			s = s.Smoke()
+		}
+		results, err := scenario.RunFleetAll(s, paper.Pool)
+		if err != nil {
+			return err
+		}
+		for _, f := range results {
+			all = append(all, f)
+			r.emit(
+				scenario.RenderFleetClasses(f),
+				scenario.RenderFleetSlowdown(f),
+				scenario.RenderFleetPairs(f, 10),
+			)
+		}
+	}
+	r.emit(scenario.RenderFleetSummary(all))
 	return nil
 }
 

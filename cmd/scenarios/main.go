@@ -97,6 +97,13 @@ func realMain() error {
 			}
 			t.Add(s.Name, len(s.Apps), axis, s.Description)
 		}
+		for _, s := range scenario.FleetBuiltin() {
+			axis := s.Backend
+			if axis == "" {
+				axis = "hdd+ssd"
+			}
+			t.Add(s.Name, s.Population.Count, axis, s.Description)
+		}
 		return emit(os.Stdout, *tsv, t)
 	}
 
@@ -147,6 +154,7 @@ func realMain() error {
 
 	pool := core.Runner{Parallelism: *jobs, Shards: *shards}
 	var all []*scenario.Result
+	var fleets []*scenario.FleetResult
 	for _, s := range specs {
 		if s.Trace != nil {
 			// A declarative trace scenario replays its recording.
@@ -155,6 +163,37 @@ func realMain() error {
 			}
 			if err := emitReplay(os.Stdout, s, *tsv); err != nil {
 				return err
+			}
+			continue
+		}
+		if s.Population != nil {
+			// A population scenario runs through the fleet summarizer — a
+			// δ sweep plus full pairwise matrix is infeasible at fleet
+			// tenant counts.
+			if *smoke {
+				s = s.Smoke()
+			}
+			if *qosName != "" {
+				s.QoS = &scenario.QoS{Scheduler: *qosName}
+			}
+			axis := backends
+			if axis == nil {
+				if axis, err = s.Backends(); err != nil {
+					return err
+				}
+			}
+			for _, b := range axis {
+				f, err := scenario.RunFleet(s, b, pool)
+				if err != nil {
+					return err
+				}
+				fleets = append(fleets, f)
+				if err := emit(os.Stdout, *tsv,
+					scenario.RenderFleetClasses(f),
+					scenario.RenderFleetSlowdown(f),
+					scenario.RenderFleetPairs(f, 10)); err != nil {
+					return err
+				}
 			}
 			continue
 		}
@@ -184,7 +223,12 @@ func realMain() error {
 			}
 		}
 	}
-	if len(all) == 0 { // e.g. only trace replays ran
+	if len(fleets) > 0 {
+		if err := emit(os.Stdout, *tsv, scenario.RenderFleetSummary(fleets)); err != nil {
+			return err
+		}
+	}
+	if len(all) == 0 { // e.g. only trace replays or fleets ran
 		return nil
 	}
 	return emit(os.Stdout, *tsv, scenario.RenderSummary(all))

@@ -1,0 +1,300 @@
+package population
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+)
+
+// params returns a small valid baseline the tests perturb.
+func params() Params {
+	return Params{
+		Count:   100,
+		Seed:    7,
+		BaseMB:  512,
+		ZipfExp: 1.1,
+		Arrival: "poisson",
+		WindowS: 30,
+		Bursts:  2,
+		ThinkS:  2,
+		JitterS: 1,
+	}
+}
+
+// render serializes a tenant list canonically so determinism checks compare
+// bytes, not struct equality.
+func render(ts []Tenant) string {
+	var b strings.Builder
+	for _, t := range ts {
+		fmt.Fprintf(&b, "%s %s rank=%d procs=%d vol=%d start=%.17g seed=%d iter=%d",
+			t.Name, t.Class, t.Rank, t.Procs, t.VolumeMB, t.StartS, t.Seed, t.Iterations)
+		for _, ph := range t.Phases {
+			fmt.Fprintf(&b, " [%s %s blk=%d xfer=%d read=%v c=%.17g j=%.17g]",
+				ph.Kind, ph.Pattern, ph.BlockMB, ph.TransferKB, ph.Read, ph.ComputeS, ph.JitterS)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Property: the same Params produce the byte-identical population every
+// time, and any seed change produces a different one.
+func TestGenerateDeterministic(t *testing.T) {
+	for _, arrival := range []string{"staggered", "poisson"} {
+		p := params()
+		p.Arrival = arrival
+		a, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		b, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		if render(a) != render(b) {
+			t.Fatalf("%s: same seed produced different populations", arrival)
+		}
+		p.Seed++
+		c, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		if render(a) == render(c) {
+			t.Fatalf("%s: different seeds produced identical populations", arrival)
+		}
+	}
+}
+
+// Property: per-class counts follow the mix exactly (largest remainder) and
+// always sum to Count, across many counts and seeds.
+func TestClassMixSumsToCount(t *testing.T) {
+	mix := []Share{
+		{Class: "checkpointer", Weight: 3},
+		{Class: "analyzer", Weight: 2},
+		{Class: "elephant", Weight: 1},
+		{Class: "mouse", Weight: 7},
+	}
+	for _, n := range []int{1, 2, 3, 13, 64, 100, 1024} {
+		for seed := uint64(0); seed < 4; seed++ {
+			p := params()
+			p.Count, p.Seed, p.Mix = n, seed, mix
+			ts, err := Generate(p)
+			if err != nil {
+				t.Fatalf("n=%d seed=%d: %v", n, seed, err)
+			}
+			if len(ts) != n {
+				t.Fatalf("n=%d: got %d tenants", n, len(ts))
+			}
+			got := map[string]int{}
+			for _, tn := range ts {
+				got[tn.Class]++
+			}
+			want := classCounts(n, mix)
+			total := 0
+			for i, sh := range mix {
+				total += want[i]
+				if got[sh.Class] != want[i] {
+					t.Fatalf("n=%d seed=%d class %s: got %d want %d", n, seed, sh.Class, got[sh.Class], want[i])
+				}
+			}
+			if total != n {
+				t.Fatalf("n=%d: apportioned counts sum to %d", n, total)
+			}
+		}
+	}
+}
+
+// Property: ZipfMB is monotone non-increasing in rank and floored at 1 MiB,
+// and generated per-class volumes inherit the monotonicity.
+func TestZipfMonotoneInRank(t *testing.T) {
+	for _, exp := range []float64{0.2, 0.7, 1.0, 1.1, 2.5, 8} {
+		prev := int64(math.MaxInt64)
+		for r := 1; r <= 2000; r++ {
+			v := ZipfMB(1<<20, exp, r)
+			if v < 1 {
+				t.Fatalf("exp=%v rank=%d: volume %d below 1 MiB floor", exp, r, v)
+			}
+			if v > prev {
+				t.Fatalf("exp=%v rank=%d: volume %d exceeds rank %d's %d", exp, r, v, r-1, prev)
+			}
+			prev = v
+		}
+	}
+
+	p := params()
+	p.Count = 500
+	ts, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := map[string]int64{}
+	for _, tn := range ts {
+		if prev, ok := last[tn.Class]; ok && tn.VolumeMB > prev {
+			t.Fatalf("class %s rank %d: volume %d exceeds an earlier rank's %d", tn.Class, tn.Rank, tn.VolumeMB, prev)
+		}
+		last[tn.Class] = tn.VolumeMB
+	}
+}
+
+// Structural properties of every generated tenant: unique names, positive
+// procs and volumes, non-decreasing arrivals in rank order, nonzero seeds,
+// phases restricted to known kinds with exactly one io phase.
+func TestGeneratedTenantsWellFormed(t *testing.T) {
+	for _, arrival := range []string{"staggered", "poisson"} {
+		p := params()
+		p.Count, p.Arrival = 257, arrival
+		ts, err := Generate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", arrival, err)
+		}
+		names := map[string]bool{}
+		prevStart := -1.0
+		for _, tn := range ts {
+			if names[tn.Name] {
+				t.Fatalf("duplicate tenant name %q", tn.Name)
+			}
+			names[tn.Name] = true
+			if tn.Procs < 1 || tn.VolumeMB < 1 {
+				t.Fatalf("%s: procs=%d vol=%d", tn.Name, tn.Procs, tn.VolumeMB)
+			}
+			if tn.Seed == 0 {
+				t.Fatalf("%s: zero seed", tn.Name)
+			}
+			if tn.StartS < prevStart {
+				t.Fatalf("%s: start %v precedes rank predecessor's %v", tn.Name, tn.StartS, prevStart)
+			}
+			prevStart = tn.StartS
+			if tn.StartS > p.WindowS*4 {
+				t.Fatalf("%s: start %v far outside window %v", tn.Name, tn.StartS, p.WindowS)
+			}
+			io := 0
+			for _, ph := range tn.Phases {
+				switch ph.Kind {
+				case "io":
+					io++
+					if ph.BlockMB < 1 {
+						t.Fatalf("%s: io block %d", tn.Name, ph.BlockMB)
+					}
+				case "compute", "barrier":
+				default:
+					t.Fatalf("%s: unknown phase kind %q", tn.Name, ph.Kind)
+				}
+			}
+			if io != 1 {
+				t.Fatalf("%s: %d io phases", tn.Name, io)
+			}
+		}
+	}
+}
+
+// Validation must reject NaN/zero/negative/Inf Zipf exponents, bad mixes,
+// bad arrivals, and volume × count products that trip the overflow guard —
+// each with a stable error.
+func TestValidateRejections(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Params)
+		want string
+	}{
+		{"zero count", func(p *Params) { p.Count = 0 }, "count"},
+		{"huge count", func(p *Params) { p.Count = MaxCount + 1 }, "count"},
+		{"zero base", func(p *Params) { p.BaseMB = 0 }, "base_mb"},
+		{"huge base", func(p *Params) { p.BaseMB = MaxBaseMB + 1 }, "base_mb"},
+		{"nan zipf", func(p *Params) { p.ZipfExp = math.NaN() }, "zipf_exp"},
+		{"zero zipf", func(p *Params) { p.ZipfExp = 0 }, "zipf_exp"},
+		{"neg zipf", func(p *Params) { p.ZipfExp = -1 }, "zipf_exp"},
+		{"inf zipf", func(p *Params) { p.ZipfExp = math.Inf(1) }, "zipf_exp"},
+		{"unknown class", func(p *Params) { p.Mix = []Share{{Class: "rhino", Weight: 1}} }, "unknown class"},
+		{"dup class", func(p *Params) {
+			p.Mix = []Share{{Class: "mouse", Weight: 1}, {Class: "mouse", Weight: 1}}
+		}, "repeats"},
+		{"nan weight", func(p *Params) { p.Mix = []Share{{Class: "mouse", Weight: math.NaN()}} }, "weight"},
+		{"neg weight", func(p *Params) { p.Mix = []Share{{Class: "mouse", Weight: -1}} }, "weight"},
+		{"zero weights", func(p *Params) { p.Mix = []Share{{Class: "mouse", Weight: 0}} }, "sum"},
+		{"bad arrival", func(p *Params) { p.Arrival = "lunar" }, "arrival"},
+		{"nan window", func(p *Params) { p.WindowS = math.NaN() }, "window_s"},
+		{"neg think", func(p *Params) { p.ThinkS = -1 }, "think_s"},
+		{"neg bursts", func(p *Params) { p.Bursts = -1 }, "bursts"},
+		{"huge bursts", func(p *Params) { p.Bursts = MaxBursts + 1 }, "bursts"},
+		{"neg pairs", func(p *Params) { p.SamplePairs = -1 }, "sample_pairs"},
+		{"overflow", func(p *Params) { p.Count = MaxCount; p.BaseMB = MaxBaseMB; p.ZipfExp = 0.01 }, "volume cap"},
+	}
+	for _, tc := range cases {
+		p := params()
+		tc.mut(&p)
+		err := p.Validate()
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+		// Stability: the same invalid input fails identically twice.
+		if err2 := p.Validate(); err2 == nil || err2.Error() != err.Error() {
+			t.Fatalf("%s: unstable error: %v vs %v", tc.name, err, err2)
+		}
+	}
+}
+
+// Shrink preserves the tenant count and class proportions exactly while
+// scaling volumes, procs, and time-axis knobs.
+func TestShrinkPreservesMix(t *testing.T) {
+	p := params()
+	p.Count = 300
+	full, err := Generate(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Generate(p.Shrink(16, 8, 128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small) != len(full) {
+		t.Fatalf("shrink changed count: %d vs %d", len(small), len(full))
+	}
+	fullMix, smallMix := map[string]int{}, map[string]int{}
+	for i := range full {
+		fullMix[full[i].Class]++
+		smallMix[small[i].Class]++
+		if small[i].Class != full[i].Class {
+			t.Fatalf("rank %d changed class: %s vs %s", i+1, small[i].Class, full[i].Class)
+		}
+		if small[i].VolumeMB > full[i].VolumeMB {
+			t.Fatalf("rank %d grew under shrink: %d vs %d", i+1, small[i].VolumeMB, full[i].VolumeMB)
+		}
+		if small[i].Procs > full[i].Procs {
+			t.Fatalf("rank %d procs grew under shrink: %d vs %d", i+1, small[i].Procs, full[i].Procs)
+		}
+	}
+	for c, n := range fullMix {
+		if smallMix[c] != n {
+			t.Fatalf("class %s count changed: %d vs %d", c, smallMix[c], n)
+		}
+	}
+	if TotalMB(small) >= TotalMB(full) {
+		t.Fatalf("shrink did not reduce volume: %d vs %d", TotalMB(small), TotalMB(full))
+	}
+}
+
+// classCounts apportions exactly over many awkward (count, weights) pairs.
+func TestClassCountsLargestRemainder(t *testing.T) {
+	mixes := [][]Share{
+		{{Class: "mouse", Weight: 1}},
+		{{Class: "mouse", Weight: 1}, {Class: "elephant", Weight: 1}},
+		{{Class: "checkpointer", Weight: 0.3}, {Class: "analyzer", Weight: 0.3}, {Class: "mouse", Weight: 0.4}},
+		DefaultMix(),
+	}
+	for _, mix := range mixes {
+		for n := 1; n <= 200; n++ {
+			counts := classCounts(n, mix)
+			sum := 0
+			for _, c := range counts {
+				sum += c
+			}
+			if sum != n {
+				t.Fatalf("mix %v n=%d: counts sum to %d", mix, n, sum)
+			}
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package scenario
 
 import (
+	"bytes"
 	"encoding/json"
 	"testing"
 )
@@ -47,6 +48,72 @@ func FuzzScenarioSpec(f *testing.F) {
 		out2, err := json.Marshal(s2)
 		if err != nil || string(out) != string(out2) {
 			t.Fatalf("marshal round-trip drift:\n got %s\nwant %s (err %v)", out2, out, err)
+		}
+	})
+}
+
+// FuzzPopulationSpec feeds arbitrary bytes to the population-scenario path.
+// The invariants: Parse never panics (a zero/negative/huge Zipf exponent
+// and a volume × count product past the population cap must fail validation
+// instead of overflowing the MiB arithmetic or hanging the generator),
+// errors are stable, and an accepted population spec expands — the
+// expansion never fails, yields exactly count tenants, passes the strict
+// validator, and is byte-deterministic.
+func FuzzPopulationSpec(f *testing.F) {
+	for _, s := range FleetBuiltin() {
+		data, err := json.Marshal(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"p","backend":"hdd","population":{"count":16,"base_mb":8,"zipf_exp":1.1}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":0}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":-1.5}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1e308}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16384,"base_mb":1048576,"zipf_exp":0.01}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1,` +
+		`"mix":[{"class":"mouse","weight":1},{"class":"elephant","weight":3}],` +
+		`"arrival":"staggered","window_s":30,"bursts":4,"think_s":1,"jitter_s":0.5,"procs_div":2,"sample_pairs":8}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1,"arrival":"lunar"}}`))
+	f.Add([]byte(`{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1},"apps":[{"procs":1,"block_mb":1}]}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := Parse(data)
+		if err != nil {
+			if _, err2 := Parse(data); err2 == nil || err2.Error() != err.Error() {
+				t.Fatalf("unstable error: %q then %v", err, err2)
+			}
+			return
+		}
+		if s.Population == nil {
+			return
+		}
+		es, tenants, err := ExpandPopulation(s)
+		if err != nil {
+			t.Fatalf("accepted population spec failed to expand: %v\njson: %s", err, data)
+		}
+		if len(tenants) != s.Population.Count || len(es.Apps) != s.Population.Count {
+			t.Fatalf("expansion yielded %d tenants / %d apps, want %d",
+				len(tenants), len(es.Apps), s.Population.Count)
+		}
+		if err := es.Validate(); err != nil {
+			t.Fatalf("expanded spec fails the strict validator: %v\njson: %s", err, data)
+		}
+		es2, _, err := ExpandPopulation(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := json.Marshal(es)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(es2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(a, b) {
+			t.Fatalf("expansion is not deterministic:\n%s\nvs\n%s", a, b)
 		}
 	})
 }

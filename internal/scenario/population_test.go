@@ -1,0 +1,236 @@
+package scenario
+
+// Scenario-layer tests for the population block: generated specs must pass
+// the strict validator, the population block must parse and reject like
+// every other block, and Smoke() must shrink a fleet without changing its
+// tenant count or class mix — under a wall-clock budget in -short mode.
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/core"
+	"repro/internal/population"
+)
+
+// popSpec returns a small population scenario for tests.
+func popSpec(count int) Spec {
+	return Spec{
+		Name:    "pop-test",
+		Backend: "hdd",
+		Servers: 4,
+		Population: &population.Params{
+			Count:   count,
+			Seed:    7,
+			BaseMB:  32,
+			ZipfExp: 1.1,
+			Arrival: "poisson",
+			WindowS: 4,
+			Bursts:  2,
+			ThinkS:  0.05,
+			JitterS: 0.02,
+		},
+	}
+}
+
+// TestExpandedPopulationValidates is the generator/validator contract: for
+// a grid of counts, seeds and arrival modes, the expanded spec passes the
+// strict Spec.Validate and builds.
+func TestExpandedPopulationValidates(t *testing.T) {
+	for _, count := range []int{1, 7, 64, 500} {
+		for _, arrival := range []string{"staggered", "poisson"} {
+			for seed := uint64(0); seed < 3; seed++ {
+				s := popSpec(count)
+				s.Population.Arrival = arrival
+				s.Population.Seed = seed
+				es, tenants, err := ExpandPopulation(s)
+				if err != nil {
+					t.Fatalf("count=%d %s seed=%d: %v", count, arrival, seed, err)
+				}
+				if len(es.Apps) != count || len(tenants) != count {
+					t.Fatalf("count=%d: expanded to %d apps, %d tenants", count, len(es.Apps), len(tenants))
+				}
+				if es.Population != nil {
+					t.Fatal("expanded spec still carries a population block")
+				}
+				if err := es.Validate(); err != nil {
+					t.Fatalf("count=%d %s seed=%d: expanded spec fails validation: %v",
+						count, arrival, seed, err)
+				}
+				if _, _, err := es.Build(cluster.HDD); err != nil {
+					t.Fatalf("count=%d %s seed=%d: expanded spec fails build: %v",
+						count, arrival, seed, err)
+				}
+			}
+		}
+	}
+}
+
+// TestPopulationSpecJSON: the population block parses from JSON, unknown
+// fields and invalid parameters are rejected with the scenario named.
+func TestPopulationSpecJSON(t *testing.T) {
+	good := `{"name":"p","backend":"hdd","population":{"count":16,"base_mb":8,"zipf_exp":1.1}}`
+	s, err := Parse([]byte(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Population == nil || s.Population.Count != 16 {
+		t.Fatalf("population block lost in parsing: %+v", s.Population)
+	}
+	bad := []struct{ name, js, want string }{
+		{"unknown field", `{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1,"zebra":1}}`, "zebra"},
+		{"zero zipf", `{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":0}}`, "zipf_exp"},
+		{"with apps", `{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1},"apps":[{"procs":1,"block_mb":1}]}`, "generates its apps"},
+		{"with delta", `{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1},"delta_s":[0,5]}`, "generates its apps"},
+		{"with trace", `{"name":"p","population":{"count":16,"base_mb":8,"zipf_exp":1.1},"trace":{"path":"x"}}`, "trace scenario"},
+	}
+	for _, tc := range bad {
+		_, err := Parse([]byte(tc.js))
+		if err == nil {
+			t.Fatalf("%s: expected error", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestFleetBuiltinShape pins the acceptance-criteria shape of the fleet
+// builtin: at least 1000 generated tenants, a pinned backend, and
+// registry/Lookup integration without leaking into the pairwise registry.
+func TestFleetBuiltinShape(t *testing.T) {
+	fs := FleetBuiltin()
+	if len(fs) == 0 {
+		t.Fatal("no fleet builtins")
+	}
+	for _, s := range fs {
+		if s.Population == nil {
+			t.Fatalf("fleet builtin %q has no population block", s.Name)
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Lookup(s.Name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Name != s.Name {
+			t.Fatalf("Lookup(%q) returned %q", s.Name, got.Name)
+		}
+		for _, b := range Builtin() {
+			if b.Name == s.Name {
+				t.Fatalf("fleet builtin %q also in the pairwise registry", s.Name)
+			}
+		}
+	}
+	if fs[0].Population.Count < 1000 {
+		t.Fatalf("fleet builtin has %d tenants, acceptance floor is 1000", fs[0].Population.Count)
+	}
+	if fs[0].Backend == "" {
+		t.Fatal("fleet builtin must pin a backend")
+	}
+}
+
+// TestFleetSmokeScaling: Smoke() keeps the tenant count and the exact
+// class mix of the fleet builtin while shrinking volume and procs, and a
+// smoke fleet run finishes under a wall-clock budget in -short mode.
+func TestFleetSmokeScaling(t *testing.T) {
+	s := FleetBuiltin()[0]
+	smoke := s.Smoke()
+	if smoke.Population == nil {
+		t.Fatal("smoke dropped the population block")
+	}
+	if smoke.Population.Count != s.Population.Count {
+		t.Fatalf("smoke changed the tenant count: %d vs %d",
+			smoke.Population.Count, s.Population.Count)
+	}
+	full, err := population.Generate(*s.Population)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := population.Generate(*smoke.Population)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fullMix, smallMix := map[string]int{}, map[string]int{}
+	for i := range full {
+		fullMix[full[i].Class]++
+		smallMix[small[i].Class]++
+	}
+	for c, n := range fullMix {
+		if smallMix[c] != n {
+			t.Fatalf("smoke changed class %s count: %d vs %d", c, smallMix[c], n)
+		}
+	}
+	if population.TotalMB(small) >= population.TotalMB(full) {
+		t.Fatal("smoke did not shrink the population volume")
+	}
+	if population.TotalProcs(small) >= population.TotalProcs(full) {
+		t.Fatal("smoke did not shrink the population procs")
+	}
+
+	// Wall-clock budget: the CI smoke fleet must stay cheap. The budget is
+	// generous against slow shared runners; the point is catching a scaling
+	// regression that turns the smoke fleet back into the full fleet.
+	if testing.Short() {
+		start := time.Now()
+		f, err := RunFleet(smoke, cluster.HDD, core.Runner{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if elapsed := time.Since(start); elapsed > 60*time.Second {
+			t.Fatalf("smoke fleet took %v, budget is 60s", elapsed)
+		}
+		if len(f.Core.IF) != s.Population.Count {
+			t.Fatalf("smoke fleet ran %d tenants, want %d", len(f.Core.IF), s.Population.Count)
+		}
+	}
+}
+
+// TestFleetStats sanity-checks the aggregation layer on a small population:
+// class stats cover every tenant exactly once, percentiles are ordered, and
+// top pairs come from the sampled set.
+func TestFleetStats(t *testing.T) {
+	s := popSpec(48)
+	s.Population.SamplePairs = 12
+	f, err := RunFleet(s, cluster.HDD, core.Runner{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for _, cs := range f.ClassStats() {
+		total += cs.Count
+		if cs.MaxIF < cs.P95IF || cs.P95IF < cs.P50IF {
+			t.Fatalf("class %s: disordered percentiles %+v", cs.Class, cs)
+		}
+		// Jitter seeds differ between a tenant and its shape-canonical
+		// baseline, so individual IFs may dip slightly below 1; a mean far
+		// below 1 would mean the baselines are broken.
+		if cs.MeanIF < 0.5 {
+			t.Fatalf("class %s: mean IF %v far below 1 (broken baselines?)", cs.Class, cs.MeanIF)
+		}
+	}
+	if total != 48 {
+		t.Fatalf("class stats cover %d tenants, want 48", total)
+	}
+	pct := f.IFPercentiles(10, 50, 95, 100)
+	for i := 1; i < len(pct); i++ {
+		if pct[i] < pct[i-1] {
+			t.Fatalf("disordered IF percentiles: %v", pct)
+		}
+	}
+	if len(f.Core.Pairs) != 12 {
+		t.Fatalf("sampled %d pairs, want 12", len(f.Core.Pairs))
+	}
+	pairs := f.TopPairs(5)
+	if len(pairs) != 5 {
+		t.Fatalf("top 5 returned %d pairs", len(pairs))
+	}
+	for i := 1; i < len(pairs); i++ {
+		if pairs[i].VictimIF > pairs[i-1].VictimIF {
+			t.Fatalf("top pairs disordered: %+v", pairs)
+		}
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"strings"
+
+	"repro/internal/population"
 )
 
 // Builtin returns the registry of named scenarios that ship with the
@@ -205,6 +207,49 @@ func Builtin() []Spec {
 	}
 }
 
+// FleetBuiltin returns the built-in population scenarios. They live in
+// their own registry: Builtin() feeds the δ-graph + pairwise path (golden,
+// conformance and mitigation suites iterate it), which is infeasible at
+// fleet tenant counts — population scenarios run through RunFleet instead.
+// Lookup searches both registries.
+func FleetBuiltin() []Spec {
+	return []Spec{
+		{
+			Name: "fleet",
+			Description: "A generated 1024-tenant population (Zipf volumes, Poisson arrivals, " +
+				"default class mix) over 24 servers, sharded: per-class IF distributions, " +
+				"slowdown percentiles and sampled aggressor/victim pairs replace the " +
+				"infeasible 1024x1024 matrix — the paper's methodology at fleet scale.",
+			Backend: "hdd",
+			Servers: 24,
+			Shards:  4,
+			Population: &population.Params{
+				Count:       1024,
+				Seed:        42,
+				BaseMB:      256,
+				ZipfExp:     1.1,
+				Arrival:     "poisson",
+				WindowS:     64,
+				Bursts:      2,
+				ThinkS:      2,
+				JitterS:     1,
+				SamplePairs: 48,
+			},
+		},
+	}
+}
+
+// FleetNames returns the built-in population scenario names, sorted.
+func FleetNames() []string {
+	fs := FleetBuiltin()
+	names := make([]string, len(fs))
+	for i, s := range fs {
+		names[i] = s.Name
+	}
+	sort.Strings(names)
+	return names
+}
+
 // FaultNames returns the names of the built-in scenarios that carry a
 // faults block, sorted.
 func FaultNames() []string {
@@ -229,14 +274,15 @@ func Names() []string {
 	return names
 }
 
-// Lookup finds a built-in scenario by name. The error of a miss lists the
-// valid set, mirroring cluster.ParseBackend.
+// Lookup finds a built-in scenario by name, searching the δ-graph registry
+// and the fleet registry. The error of a miss lists the valid set,
+// mirroring cluster.ParseBackend.
 func Lookup(name string) (Spec, error) {
-	for _, s := range Builtin() {
+	for _, s := range append(Builtin(), FleetBuiltin()...) {
 		if s.Name == name {
 			return s, nil
 		}
 	}
 	return Spec{}, fmt.Errorf("scenario: unknown scenario %q (valid: %s)",
-		name, strings.Join(Names(), ", "))
+		name, strings.Join(append(Names(), FleetNames()...), ", "))
 }

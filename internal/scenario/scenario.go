@@ -27,6 +27,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/pfs"
+	"repro/internal/population"
 	"repro/internal/qos"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -188,6 +189,14 @@ type Spec struct {
 	// replay reproduces a recorded healthy run.
 	Faults *FaultBlock `json:"faults,omitempty"`
 
+	// Population stamps out a generated tenant population (seeded class
+	// mix, Zipf volumes, arrival offsets — internal/population) instead of
+	// a hand-written app list. Mutually exclusive with Apps, Trace, Faults
+	// and the δ grid: a fleet is summarized by its single co-run plus
+	// sampled pairs (RunFleet), not a δ sweep. Platform knobs and QoS still
+	// apply.
+	Population *population.Params `json:"population,omitempty"`
+
 	Apps []App `json:"apps,omitempty"`
 }
 
@@ -306,9 +315,10 @@ func (s Spec) Validate() error {
 		}
 		if len(s.Apps) > 0 || len(s.DeltaS) > 0 || s.Backend != "" || s.Sync != "" ||
 			s.Nodes != 0 || s.CoresPerNode != 0 || s.Servers != 0 ||
-			s.StripeKB != 0 || s.SSDChannels != 0 || s.Shards != 0 || s.Faults != nil {
+			s.StripeKB != 0 || s.SSDChannels != 0 || s.Shards != 0 || s.Faults != nil ||
+			s.Population != nil {
 			return fmt.Errorf("scenario %q: a trace scenario replays the recorded platform; "+
-				"apps, faults and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
+				"apps, faults, population and platform/δ knobs must be absent (qos is the one allowed override)", s.Name)
 		}
 		if s.QoS != nil {
 			if _, err := s.QoS.Params(); err != nil {
@@ -317,7 +327,18 @@ func (s Spec) Validate() error {
 		}
 		return nil
 	}
-	if len(s.Apps) == 0 {
+	if s.Population != nil {
+		// A fleet is summarized by its single co-run plus sampled pairs;
+		// hand-written apps, fault timelines and δ sweeps do not compose
+		// with a generated population (platform knobs and qos do).
+		if len(s.Apps) > 0 || s.Faults != nil || len(s.DeltaS) > 0 {
+			return fmt.Errorf("scenario %q: a population scenario generates its apps; "+
+				"apps, faults and delta_s must be absent (platform knobs and qos still apply)", s.Name)
+		}
+		if err := s.Population.Validate(); err != nil {
+			return fmt.Errorf("scenario %q: %w", s.Name, err)
+		}
+	} else if len(s.Apps) == 0 {
 		return fmt.Errorf("scenario %q: needs at least one app", s.Name)
 	}
 	if s.Backend != "" {
@@ -531,6 +552,16 @@ func (s Spec) Build(backend cluster.BackendKind) (cluster.Config, core.DeltaSpec
 		return cluster.Config{}, core.DeltaSpec{},
 			fmt.Errorf("scenario %q: a trace scenario replays a recording; use Replay", s.Name)
 	}
+	if s.Population != nil {
+		// Stamp out the generated tenants and compile the expanded spec;
+		// the expansion is deterministic, so building twice is free of
+		// surprises (RunFleet keeps the tenant list alongside).
+		es, _, err := ExpandPopulation(s)
+		if err != nil {
+			return cluster.Config{}, core.DeltaSpec{}, err
+		}
+		return es.Build(backend)
+	}
 	cfg := cluster.Default()
 	cfg.Backend = backend
 	if s.Nodes > 0 {
@@ -629,6 +660,14 @@ func (s Spec) Smoke() Spec {
 	// durations — by ~128, so δ and start_s shrink by the same factor.
 	const timeDiv = 8 * 16
 	out := s
+	// A population scenario shrinks through its generator parameters: same
+	// tenant count and class mix (a smoke fleet IS the fleet, only
+	// smaller), volumes /16, per-class procs /8 (min 1), time axes /128.
+	if s.Population != nil {
+		p := s.Population.Shrink(16, 8, timeDiv)
+		out.Population = &p
+		return out
+	}
 	out.Apps = make([]App, len(s.Apps))
 	for i, a := range s.Apps {
 		a.Procs = max(2, a.Procs/8)
