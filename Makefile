@@ -3,12 +3,12 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_8.json
+BENCH_OUT ?= BENCH_9.json
 # BENCH_PREV is the previous PR's committed snapshot; bench-check fails when
 # a serial-path benchmark regressed beyond the benchguard tolerance.
-BENCH_PREV ?= BENCH_6.json
+BENCH_PREV ?= BENCH_8.json
 
-.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults fleet
+.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults fleet serve
 
 # Tier-1: everything, full grids.
 test:
@@ -65,6 +65,8 @@ bench:
 		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkFleetScenario$$' \
 		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfCache(Hit|Miss)' \
+		-benchmem -benchtime 0.5s -count 5 -json . >> $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # bench-check guards the serial-path perf trajectory: the previous PR's
@@ -73,7 +75,7 @@ bench:
 # wall-clock depends on the runner's core count, not on code quality.
 bench-check:
 	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT) \
-		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn|FleetScenario)'
+		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn|FleetScenario|WhatIfCacheHit|WhatIfCacheMiss)'
 
 # fuzz-short gives each native fuzz target a brief coverage-guided run on
 # top of its committed seed corpus — long enough to catch a fresh parser
@@ -99,3 +101,12 @@ faults:
 	$(GO) run ./cmd/scenarios -faults -smoke -backend hdd -run all
 	$(GO) test -race -run 'FaultShardConformance|FaultScenarioShardConformance' \
 		./internal/core/ ./internal/scenario/
+
+# serve smoke: the end-to-end what-if service contract, under the race
+# detector. Builds whatifd (with -race) and the scenarios CLI, records a
+# trace, starts the daemon, POSTs the smoke aggressor-victim scenario and
+# the recording, and asserts every arm text in the JSON responses matches
+# the equivalent CLI stdout bit-for-bit — cold and cache-hit alike — then
+# SIGTERMs the daemon and requires a drained exit 0.
+serve:
+	$(GO) test -race -count=1 -run 'TestServeSmoke' ./cmd/whatifd/

@@ -1,0 +1,62 @@
+package repro
+
+// What-if service benchmarks: the price of a baseline cache miss (one full
+// scenario simulation plus render and insert) against a hit (the same
+// session served from the resident entry). The spread between the two is
+// the interactivity the service buys — repeated what-ifs over one
+// recording pay only for their mitigation arms.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/cluster"
+	"repro/internal/scenario"
+	"repro/internal/whatif"
+)
+
+// whatifBenchSpec is a deliberately small two-application scenario so the
+// benches measure the service path, not a campaign.
+func whatifBenchSpec(name string) scenario.Spec {
+	return scenario.Spec{
+		Name:    name,
+		Servers: 2,
+		DeltaS:  []float64{0},
+		Apps: []scenario.App{
+			{Name: "bulk", Procs: 4, BlockMB: 4},
+			{Name: "strided", Procs: 2, Pattern: "strided", BlockMB: 2, TransferKB: 256},
+		},
+	}
+}
+
+func BenchmarkWhatIfCacheMiss(b *testing.B) {
+	srv := whatif.New(whatif.Config{Workers: 1})
+	defer srv.Close()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		// A fresh name is a fresh content address: every iteration is a
+		// cold baseline.
+		spec := whatifBenchSpec(fmt.Sprintf("bench-miss-%d", i))
+		if _, hit, err := srv.Compute(&whatif.Query{Spec: &spec, Backend: cluster.HDD}); err != nil || hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}
+
+func BenchmarkWhatIfCacheHit(b *testing.B) {
+	srv := whatif.New(whatif.Config{Workers: 1})
+	defer srv.Close()
+	spec := whatifBenchSpec("bench-hit")
+	q := &whatif.Query{Spec: &spec, Backend: cluster.HDD}
+	if _, _, err := srv.Compute(q); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, hit, err := srv.Compute(q); err != nil || !hit {
+			b.Fatalf("hit=%v err=%v", hit, err)
+		}
+	}
+}

@@ -56,6 +56,7 @@ import (
 	"repro/internal/report"
 	"repro/internal/scenario"
 	"repro/internal/trace"
+	"repro/internal/whatif"
 )
 
 func main() {
@@ -215,10 +216,13 @@ func realMain() error {
 				return err
 			}
 			all = append(all, res)
-			if err := emit(os.Stdout, *tsv,
-				scenario.RenderBaselines(res),
-				scenario.RenderGraph(res),
-				scenario.RenderMatrix(res)); err != nil {
+			// Shared with the what-if service: the HTTP API embeds this
+			// exact byte stream, so the two cannot drift apart.
+			text, err := whatif.ScenarioRunText(res, *tsv)
+			if err != nil {
+				return err
+			}
+			if _, err := io.WriteString(os.Stdout, text); err != nil {
 				return err
 			}
 		}
@@ -231,7 +235,12 @@ func realMain() error {
 	if len(all) == 0 { // e.g. only trace replays or fleets ran
 		return nil
 	}
-	return emit(os.Stdout, *tsv, scenario.RenderSummary(all))
+	text, err := whatif.ScenarioSummaryText(all, *tsv)
+	if err != nil {
+		return err
+	}
+	_, err = io.WriteString(os.Stdout, text)
+	return err
 }
 
 // runFaults runs every selected fault scenario's healthy-vs-faulted
@@ -334,43 +343,32 @@ func replayTrace(w io.Writer, path, qosName string, tsv bool) error {
 }
 
 // emitReplay executes one trace scenario and prints summary plus round-trip
-// tables, failing on divergence unless the replay is counterfactual.
+// tables, failing on divergence unless the replay is counterfactual. The
+// rendering is shared with the what-if service (whatif.ReplayText), which
+// embeds the same bytes in its JSON responses.
 func emitReplay(w io.Writer, s scenario.Spec, tsv bool) error {
 	rep, t, err := scenario.Replay(s)
 	if err != nil {
 		return err
 	}
 	title := s.Trace.Path
-	counterfactual := s.QoS != nil
-	if err := emit(w, tsv,
-		trace.RenderSummary(fmt.Sprintf("%s: Darshan-style per-app summary", title), trace.Summarize(t)),
-		trace.RenderRoundTrip(fmt.Sprintf("%s: recorded vs replayed completions", title), rep)); err != nil {
+	var counterfactualQoS string
+	if s.QoS != nil {
+		counterfactualQoS = s.QoS.Scheduler
+	}
+	text, err := whatif.ReplayText(title, counterfactualQoS, rep, t, tsv)
+	if err != nil {
 		return err
 	}
-	if counterfactual {
-		fmt.Fprintf(w, "counterfactual replay under qos=%s: divergence from the recording is the result\n",
-			s.QoS.Scheduler)
-		return nil
+	if _, err := io.WriteString(w, text); err != nil {
+		return err
 	}
-	if !rep.Identical() {
+	if counterfactualQoS == "" && !rep.Identical() {
 		return fmt.Errorf("replay of %s diverged from the recording (see the round-trip table)", title)
 	}
-	fmt.Fprintf(w, "replay of %s reproduced every app's completion window bit-for-bit\n", title)
 	return nil
 }
 
 func emit(w io.Writer, tsv bool, tables ...*report.Table) error {
-	for _, t := range tables {
-		var err error
-		if tsv {
-			err = t.WriteTSV(w)
-		} else {
-			err = t.WriteASCII(w)
-		}
-		if err != nil {
-			return err
-		}
-		fmt.Fprintln(w)
-	}
-	return nil
+	return whatif.EmitTables(w, tsv, tables...)
 }

@@ -1,0 +1,140 @@
+// Command whatifd serves counterfactual what-if analysis over HTTP: POST
+// an IOTRACE1 recording or an inline scenario spec and get back the
+// un-mitigated baseline plus a sweep of QoS mitigation arms — per-app
+// summaries, IF vectors and a Pareto report, byte-identical to the
+// equivalent cmd/scenarios CLI runs.
+//
+// Endpoints (see SCENARIOS.md for a curl walkthrough):
+//
+//	POST /v1/whatif        inline scenario spec + sweep options (JSON)
+//	POST /v1/whatif/trace  raw IOTRACE1 body; options in the query string
+//	GET  /v1/jobs/{id}     poll an asynchronous session
+//	GET  /healthz          liveness + serving counters
+//
+// Example:
+//
+//	whatifd -addr 127.0.0.1:8080 -cache-mb 256 &
+//	curl -s -X POST --data-binary @run.trace \
+//	    'http://127.0.0.1:8080/v1/whatif/trace?name=run.trace&arms=fairshare'
+//
+// SIGINT/SIGTERM drain in-flight sessions before exiting 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/whatif"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", "127.0.0.1:8080", "listen address (host:port)")
+		cacheMB      = flag.Int("cache-mb", 256, "baseline cache budget, MiB (0 disables caching)")
+		queueLen     = flag.Int("queue", 64, "session queue bound (full queue answers 429)")
+		workers      = flag.Int("workers", 2, "sessions executing concurrently")
+		jobs         = flag.Int("j", 0, "simulation parallelism inside one session (0 = all cores)")
+		shards       = flag.Int("shards", 0, "default event-kernel shard override (0 = per-spec)")
+		maxBodyMB    = flag.Int("max-body-mb", 64, "request body cap, MiB")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "in-flight session drain budget on shutdown")
+	)
+	flag.Parse()
+
+	if flag.NArg() > 0 {
+		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
+	}
+	if err := validateFlags(*addr, *cacheMB, *queueLen, *workers, *jobs, *shards, *maxBodyMB, *drainTimeout); err != nil {
+		usageErr(err.Error())
+	}
+
+	cacheBytes := int64(*cacheMB) << 20
+	if *cacheMB == 0 {
+		cacheBytes = -1
+	}
+	svc := whatif.New(whatif.Config{
+		CacheBytes: cacheBytes,
+		QueueLen:   *queueLen,
+		Workers:    *workers,
+		Jobs:       *jobs,
+		Shards:     *shards,
+		MaxBody:    int64(*maxBodyMB) << 20,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "whatifd:", err)
+		os.Exit(1)
+	}
+	httpSrv := &http.Server{Handler: svc.Handler()}
+	log.Printf("whatifd: listening on %s", ln.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		// Drain: stop accepting, let in-flight handlers finish, then run
+		// every already-queued session to completion before exiting 0.
+		stop()
+		log.Printf("whatifd: signal received, draining")
+		sdCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+		defer cancel()
+		if err := httpSrv.Shutdown(sdCtx); err != nil {
+			log.Printf("whatifd: shutdown: %v", err)
+		}
+		svc.Close()
+		log.Printf("whatifd: drained, exiting")
+	case err := <-serveErr:
+		svc.Close()
+		fmt.Fprintln(os.Stderr, "whatifd:", err)
+		os.Exit(1)
+	}
+}
+
+// validateFlags range-checks every knob before anything is built, so a bad
+// value surfaces as a usage error rather than a panic or a silent
+// misconfiguration.
+func validateFlags(addr string, cacheMB, queueLen, workers, jobs, shards, maxBodyMB int, drain time.Duration) error {
+	host, port, err := net.SplitHostPort(addr)
+	switch {
+	case err != nil:
+		return fmt.Errorf("-addr %q must be host:port: %v", addr, err)
+	case port == "":
+		return fmt.Errorf("-addr %q is missing a port", addr)
+	case cacheMB < 0:
+		return fmt.Errorf("-cache-mb must be >= 0 (0 disables caching)")
+	case queueLen < 1:
+		return fmt.Errorf("-queue must be >= 1")
+	case workers < 1:
+		return fmt.Errorf("-workers must be >= 1")
+	case jobs < 0:
+		return fmt.Errorf("-j must be >= 0 (0 = all cores)")
+	case shards < 0:
+		return fmt.Errorf("-shards must be >= 0 (0 = per-spec)")
+	case maxBodyMB < 1:
+		return fmt.Errorf("-max-body-mb must be >= 1")
+	case drain <= 0:
+		return fmt.Errorf("-drain-timeout must be positive")
+	}
+	_ = host // empty host means all interfaces, which is fine
+	return nil
+}
+
+// usageErr reports a bad invocation and exits 2, matching the
+// incastprobe/iobench convention.
+func usageErr(msg string) {
+	fmt.Fprintln(os.Stderr, "whatifd:", msg)
+	flag.Usage()
+	os.Exit(2)
+}

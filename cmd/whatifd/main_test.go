@@ -1,0 +1,44 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidateFlags(t *testing.T) {
+	type in struct {
+		addr                                             string
+		cacheMB, queueLen, workers, jobs, shards, bodyMB int
+		drain                                            time.Duration
+	}
+	good := in{"127.0.0.1:8080", 256, 64, 2, 0, 0, 64, 30 * time.Second}
+	cases := []struct {
+		name   string
+		mut    func(*in)
+		wantOK bool
+	}{
+		{"defaults", func(*in) {}, true},
+		{"all-interfaces addr", func(i *in) { i.addr = ":0" }, true},
+		{"cache disabled", func(i *in) { i.cacheMB = 0 }, true},
+		{"addr without port", func(i *in) { i.addr = "127.0.0.1" }, false},
+		{"addr empty port", func(i *in) { i.addr = "127.0.0.1:" }, false},
+		{"addr garbage", func(i *in) { i.addr = "not an address" }, false},
+		{"negative cache", func(i *in) { i.cacheMB = -1 }, false},
+		{"zero queue", func(i *in) { i.queueLen = 0 }, false},
+		{"zero workers", func(i *in) { i.workers = 0 }, false},
+		{"negative jobs", func(i *in) { i.jobs = -1 }, false},
+		{"negative shards", func(i *in) { i.shards = -2 }, false},
+		{"zero body cap", func(i *in) { i.bodyMB = 0 }, false},
+		{"zero drain", func(i *in) { i.drain = 0 }, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			i := good
+			tc.mut(&i)
+			err := validateFlags(i.addr, i.cacheMB, i.queueLen, i.workers, i.jobs, i.shards, i.bodyMB, i.drain)
+			if (err == nil) != tc.wantOK {
+				t.Fatalf("validateFlags(%+v) = %v, want ok=%v", i, err, tc.wantOK)
+			}
+		})
+	}
+}

@@ -25,7 +25,13 @@
 // first-class workload source; workload programs (workload.Program)
 // extend one-shot bursts into multi-phase temporal workloads — periodic
 // barrier-synchronized checkpoints, Poisson-jittered bursty tenants —
-// that make such traces worth recording. See README.md for a tour,
+// that make such traces worth recording. The replayer and the
+// mitigation sweeps are also servable: internal/whatif and cmd/whatifd
+// expose them as a long-running what-if daemon (stdlib HTTP/JSON) with
+// a content-addressed baseline cache, a bounded session queue with
+// explicit backpressure, and responses whose embedded tables are
+// byte-identical to the equivalent cmd/scenarios runs (SCENARIOS.md,
+// "The what-if HTTP API"). See README.md for a tour,
 // DESIGN.md for the system inventory (including the replay determinism
 // contract), EXPERIMENTS.md for paper-versus-measured results and
 // SCENARIOS.md for the scenario engine, the mitigation Pareto view and
