@@ -3,12 +3,12 @@
 GO      ?= go
 # BENCH_OUT is the perf snapshot consumed by CI artifacts and by future
 # perf PRs; the _N suffix tracks the PR number that produced it.
-BENCH_OUT ?= BENCH_9.json
+BENCH_OUT ?= BENCH_10.json
 # BENCH_PREV is the previous PR's committed snapshot; bench-check fails when
 # a serial-path benchmark regressed beyond the benchguard tolerance.
-BENCH_PREV ?= BENCH_8.json
+BENCH_PREV ?= BENCH_9.json
 
-.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults fleet serve
+.PHONY: test race bench bench-check fuzz-short scenarios mitigate trace faults fleet serve obs
 
 # Tier-1: everything, full grids.
 test:
@@ -67,6 +67,8 @@ bench:
 		-benchtime 1x -count 3 -json . >> $(BENCH_OUT)
 	$(GO) test -run '^$$' -bench 'BenchmarkWhatIfCache(Hit|Miss)' \
 		-benchmem -benchtime 0.5s -count 5 -json . >> $(BENCH_OUT)
+	$(GO) test -run '^$$' -bench 'BenchmarkSamplerTick|BenchmarkSpanRecord' \
+		-benchmem -benchtime 0.5s -count 5 -json . >> $(BENCH_OUT)
 	@echo "wrote $(BENCH_OUT)"
 
 # bench-check guards the serial-path perf trajectory: the previous PR's
@@ -75,7 +77,7 @@ bench:
 # wall-clock depends on the runner's core count, not on code quality.
 bench-check:
 	$(GO) run ./cmd/benchguard -old $(BENCH_PREV) -new $(BENCH_OUT) \
-		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn|FleetScenario|WhatIfCacheHit|WhatIfCacheMiss)'
+		-match '^Benchmark(EngineEventThroughput|TransportThroughput|HDDElevator|FairShareScheduler|TraceRecord|Figure2SyncOn|FleetScenario|WhatIfCacheHit|WhatIfCacheMiss|SamplerTick|SpanRecord)'
 
 # fuzz-short gives each native fuzz target a brief coverage-guided run on
 # top of its committed seed corpus — long enough to catch a fresh parser
@@ -101,6 +103,18 @@ faults:
 	$(GO) run ./cmd/scenarios -faults -smoke -backend hdd -run all
 	$(GO) test -race -run 'FaultShardConformance|FaultScenarioShardConformance' \
 		./internal/core/ ./internal/scenario/
+
+# obs smoke: the observability layer end to end. Runs the aggressor-victim
+# builtin with -timeline attached (sampled per-app/per-server series plus
+# the span breakdown on stdout), then re-checks the timeline golden and the
+# shard/concurrency conformance under the race detector, and finally the
+# /metrics + /healthz exposition contract of the what-if service (scrape
+# must be non-empty, line-parseable 0.0.4 text carrying the serving
+# counters and, after a session, the last-run simulation series).
+obs:
+	$(GO) run ./cmd/scenarios -smoke -backend hdd -run aggressor-victim -timeline
+	$(GO) test -race -count=1 -run 'TestGoldenTimeline|TestTimelineShardConformance' ./internal/scenario/
+	$(GO) test -race -count=1 -run 'TestMetrics|TestHealthzUptime' ./internal/whatif/
 
 # serve smoke: the end-to-end what-if service contract, under the race
 # detector. Builds whatifd (with -race) and the scenarios CLI, records a

@@ -16,6 +16,16 @@
 //	scenarios -replay ckpt.trace             # summarize + replay + verify
 //	scenarios -replay ckpt.trace -qos fairshare      # counterfactual replay
 //	scenarios -faults -run server-crash-checkpoint   # healthy vs faulted
+//	scenarios -timeline -run aggressor-victim        # sim-time series + spans
+//
+// -timeline runs each selected scenario's δ=0 co-run with the
+// deterministic observability layer attached (internal/obs) and prints
+// per-app × per-server time series (throughput, queue state, pipeline
+// depth, LASSi-style risk), per-server device/NIC series, and the
+// per-app "where did the time go" span breakdown (network vs queue-wait
+// vs service). -timeline-interval/-timeline-samples size the series,
+// -timeline-spans the span buffers. Output is byte-identical at any
+// -shards value.
 //
 // -faults runs each selected fault scenario (one with a "faults" block —
 // a deterministic timeline of server crashes, degraded devices and link
@@ -49,12 +59,15 @@ import (
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/qos"
 	"repro/internal/report"
 	"repro/internal/scenario"
+	"repro/internal/sim"
 	"repro/internal/trace"
 	"repro/internal/whatif"
 )
@@ -77,6 +90,10 @@ func realMain() error {
 		traceOut = flag.String("trace", "", "record the selected scenario's delta=0 co-run to a trace `file` and summarize it")
 		replayIn = flag.String("replay", "", "summarize and replay a recorded trace `file`, verifying bit-identical completions")
 		faults   = flag.Bool("faults", false, "run each selected fault scenario's healthy-vs-faulted comparison (the scenario needs a faults block)")
+		timeline = flag.Bool("timeline", false, "dump each selected scenario's delta=0 co-run as deterministic sim-time series plus span breakdown (internal/obs)")
+		tlEvery  = flag.Duration("timeline-interval", 100*time.Millisecond, "sampling `period` of -timeline on the simulated clock")
+		tlCount  = flag.Int("timeline-samples", 600, "max samples per -timeline series (observation horizon = interval * samples)")
+		tlSpans  = flag.Int("timeline-spans", 1<<16, "per-server span buffer capacity of -timeline (0 disables spans)")
 		tsv      = flag.Bool("tsv", false, "TSV output instead of aligned tables")
 		jobs     = flag.Int("j", runtime.GOMAXPROCS(0), "max concurrent simulations (1 = serial)")
 		shards   = flag.Int("shards", 0, "event-kernel shards per simulation (0 = each spec's own knob, 1 = serial oracle); results are bit-identical at any value")
@@ -151,6 +168,15 @@ func realMain() error {
 
 	if *faults {
 		return runFaults(os.Stdout, specs, backends, *smoke, *shards, *tsv)
+	}
+
+	if *timeline {
+		ocfg := obs.Config{
+			Interval: sim.Time(tlEvery.Nanoseconds()),
+			Samples:  *tlCount,
+			SpanCap:  *tlSpans,
+		}
+		return runTimelines(os.Stdout, specs, backends, *smoke, *qosName, *shards, ocfg, *tsv)
 	}
 
 	pool := core.Runner{Parallelism: *jobs, Shards: *shards}
@@ -285,6 +311,52 @@ func runFaults(w io.Writer, specs []scenario.Spec, backends []cluster.BackendKin
 	if ran == 0 {
 		return fmt.Errorf("no selected scenario has a faults block (built-ins: %s)",
 			strings.Join(scenario.FaultNames(), ", "))
+	}
+	return nil
+}
+
+// runTimelines runs every selected scenario's δ=0 co-run with the
+// observability layer attached and prints the rendered timeline. Trace
+// scenarios are skipped (no co-run to observe) unless explicitly the only
+// selection, which is an error rather than silence.
+func runTimelines(w io.Writer, specs []scenario.Spec, backends []cluster.BackendKind,
+	smoke bool, qosName string, shards int, ocfg obs.Config, tsv bool) error {
+	if err := ocfg.Validate(); err != nil {
+		return err
+	}
+	for _, s := range specs {
+		if s.Trace != nil {
+			if len(specs) == 1 {
+				return fmt.Errorf("scenario %q replays a recording; -timeline needs a co-run", s.Name)
+			}
+			continue
+		}
+		if smoke {
+			s = s.Smoke()
+		}
+		if qosName != "" {
+			s.QoS = &scenario.QoS{Scheduler: qosName}
+		}
+		axis := backends
+		if axis == nil {
+			var err error
+			if axis, err = s.Backends(); err != nil {
+				return err
+			}
+		}
+		for _, b := range axis {
+			res, err := scenario.RunTimeline(s, b, shards, ocfg)
+			if err != nil {
+				return err
+			}
+			text, err := scenario.TimelineText(s.Name, b, res, tsv)
+			if err != nil {
+				return err
+			}
+			if _, err := io.WriteString(w, text); err != nil {
+				return err
+			}
+		}
 	}
 	return nil
 }

@@ -9,24 +9,34 @@
 //	POST /v1/whatif        inline scenario spec + sweep options (JSON)
 //	POST /v1/whatif/trace  raw IOTRACE1 body; options in the query string
 //	GET  /v1/jobs/{id}     poll an asynchronous session
-//	GET  /healthz          liveness + serving counters
+//	GET  /healthz          liveness + serving counters + uptime
+//	GET  /metrics          Prometheus text exposition (serving counters
+//	                       and the last session's simulation results)
+//
+// With -debug-addr a second listener serves the Go runtime surface —
+// /debug/vars (expvar, including the whatifd.health document) and
+// /debug/pprof/ — kept off the service address so profiling endpoints are
+// never reachable through the API port.
 //
 // Example:
 //
 //	whatifd -addr 127.0.0.1:8080 -cache-mb 256 &
 //	curl -s -X POST --data-binary @run.trace \
 //	    'http://127.0.0.1:8080/v1/whatif/trace?name=run.trace&arms=fairshare'
+//	curl -s http://127.0.0.1:8080/metrics
 //
 // SIGINT/SIGTERM drain in-flight sessions before exiting 0.
 package main
 
 import (
 	"context"
+	"expvar"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"syscall"
@@ -45,13 +55,15 @@ func main() {
 		shards       = flag.Int("shards", 0, "default event-kernel shard override (0 = per-spec)")
 		maxBodyMB    = flag.Int("max-body-mb", 64, "request body cap, MiB")
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "in-flight session drain budget on shutdown")
+		headerTO     = flag.Duration("read-header-timeout", 5*time.Second, "request-header read deadline (slowloris hardening)")
+		debugAddr    = flag.String("debug-addr", "", "serve expvar and pprof on this host:port (empty disables)")
 	)
 	flag.Parse()
 
 	if flag.NArg() > 0 {
 		usageErr(fmt.Sprintf("unexpected argument %q", flag.Arg(0)))
 	}
-	if err := validateFlags(*addr, *cacheMB, *queueLen, *workers, *jobs, *shards, *maxBodyMB, *drainTimeout); err != nil {
+	if err := validateFlags(*addr, *cacheMB, *queueLen, *workers, *jobs, *shards, *maxBodyMB, *drainTimeout, *headerTO, *debugAddr); err != nil {
 		usageErr(err.Error())
 	}
 
@@ -73,8 +85,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "whatifd:", err)
 		os.Exit(1)
 	}
-	httpSrv := &http.Server{Handler: svc.Handler()}
+	httpSrv := newHTTPServer(svc.Handler(), *headerTO)
 	log.Printf("whatifd: listening on %s", ln.Addr())
+
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		// Published here, not in newDebugMux, so tests can build debug
+		// muxes freely (expvar.Publish panics on duplicate names).
+		expvar.Publish("whatifd.health", expvar.Func(func() any { return svc.Health() }))
+		dln, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "whatifd:", err)
+			os.Exit(1)
+		}
+		dbgSrv = newHTTPServer(newDebugMux(), *headerTO)
+		log.Printf("whatifd: debug surface on http://%s/debug/", dln.Addr())
+		go func() {
+			if err := dbgSrv.Serve(dln); err != nil && err != http.ErrServerClosed {
+				log.Printf("whatifd: debug server: %v", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -93,6 +124,9 @@ func main() {
 		if err := httpSrv.Shutdown(sdCtx); err != nil {
 			log.Printf("whatifd: shutdown: %v", err)
 		}
+		if dbgSrv != nil {
+			dbgSrv.Close()
+		}
 		svc.Close()
 		log.Printf("whatifd: drained, exiting")
 	case err := <-serveErr:
@@ -102,10 +136,34 @@ func main() {
 	}
 }
 
+// newHTTPServer fronts a handler with the serving deadlines every listener
+// gets: ReadHeaderTimeout bounds how long a connection may dribble its
+// request headers, so idle half-open connections (slowloris) cannot pin
+// handler goroutines forever. Bodies stay unbounded in time — trace
+// uploads are large and MaxBody already caps them by size.
+func newHTTPServer(h http.Handler, headerTO time.Duration) *http.Server {
+	return &http.Server{Handler: h, ReadHeaderTimeout: headerTO}
+}
+
+// newDebugMux builds the -debug-addr surface: expvar under /debug/vars and
+// the pprof index plus its fixed-path profiles under /debug/pprof/. A
+// dedicated mux (not http.DefaultServeMux) keeps the surface explicit and
+// the service port clean.
+func newDebugMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
 // validateFlags range-checks every knob before anything is built, so a bad
 // value surfaces as a usage error rather than a panic or a silent
 // misconfiguration.
-func validateFlags(addr string, cacheMB, queueLen, workers, jobs, shards, maxBodyMB int, drain time.Duration) error {
+func validateFlags(addr string, cacheMB, queueLen, workers, jobs, shards, maxBodyMB int, drain, headerTO time.Duration, debugAddr string) error {
 	host, port, err := net.SplitHostPort(addr)
 	switch {
 	case err != nil:
@@ -126,8 +184,23 @@ func validateFlags(addr string, cacheMB, queueLen, workers, jobs, shards, maxBod
 		return fmt.Errorf("-max-body-mb must be >= 1")
 	case drain <= 0:
 		return fmt.Errorf("-drain-timeout must be positive")
+	case headerTO <= 0:
+		return fmt.Errorf("-read-header-timeout must be positive")
 	}
 	_ = host // empty host means all interfaces, which is fine
+	if debugAddr != "" {
+		dport := ""
+		if _, dport, err = net.SplitHostPort(debugAddr); err != nil {
+			return fmt.Errorf("-debug-addr %q must be host:port: %v", debugAddr, err)
+		}
+		if dport == "" {
+			return fmt.Errorf("-debug-addr %q is missing a port", debugAddr)
+		}
+		// Port 0 is OS-assigned: two :0 listens land on different ports.
+		if debugAddr == addr && dport != "0" {
+			return fmt.Errorf("-debug-addr must differ from -addr (the debug surface stays off the API port)")
+		}
+	}
 	return nil
 }
 

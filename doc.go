@@ -31,7 +31,15 @@
 // a content-addressed baseline cache, a bounded session queue with
 // explicit backpressure, and responses whose embedded tables are
 // byte-identical to the equivalent cmd/scenarios runs (SCENARIOS.md,
-// "The what-if HTTP API"). See README.md for a tour,
+// "The what-if HTTP API"). An observability layer (internal/obs)
+// watches runs from inside simulated time — a pre-scheduled
+// zero-allocation sampler snapshots per-app × per-server telemetry
+// into fixed-capacity series and request spans decompose every I/O
+// into network, queue-wait and service time — surfaced as
+// cmd/scenarios -timeline and, for the daemon, a Prometheus-text
+// GET /metrics plus an opt-in expvar/pprof debug listener; observation
+// never perturbs results (observed runs are byte-identical to
+// unobserved ones, at any shard count). See README.md for a tour,
 // DESIGN.md for the system inventory (including the replay determinism
 // contract), EXPERIMENTS.md for paper-versus-measured results and
 // SCENARIOS.md for the scenario engine, the mitigation Pareto view and

@@ -29,6 +29,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/mpisim"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/pfs"
 	"repro/internal/sim"
 	"repro/internal/workload"
@@ -105,6 +106,8 @@ type App struct {
 type Experiment struct {
 	Platform *cluster.Platform
 	Apps     []*App
+
+	obs *obs.Collector
 }
 
 // Prepare builds the platform and applications on the serial engine.
@@ -145,6 +148,17 @@ func PrepareSharded(cfg cluster.Config, specs []AppSpec, shards int) *Experiment
 		x.Apps = append(x.Apps, app)
 	}
 	return x
+}
+
+// Observe attaches the deterministic sim-time observability layer (see
+// internal/obs) to a prepared experiment: periodic per-app × per-server
+// samples plus request spans, all collected on the engines that own the
+// probed state. Call between Prepare and Run; the run's RunResult then
+// carries the Timeline. Sampling is read-only — results are byte-identical
+// to an unobserved run.
+func (x *Experiment) Observe(cfg obs.Config) *obs.Collector {
+	x.obs = obs.Attach(x.Platform, len(x.Apps), cfg)
+	return x.obs
 }
 
 // AttachWindowTrace pre-dials the connection from the given client of the
@@ -313,10 +327,12 @@ type AvailDiag struct {
 	OfferedBytes   int64    // chunk bytes clients pushed at servers
 }
 
-// RunResult is the outcome of a single experiment run.
+// RunResult is the outcome of a single experiment run. Timeline is only
+// set when the experiment was Observed (see internal/obs).
 type RunResult struct {
-	Apps []AppResult
-	Diag Diag
+	Apps     []AppResult
+	Diag     Diag
+	Timeline *obs.Timeline `json:",omitempty"`
 }
 
 // Run launches all applications, drives the simulation to completion and
@@ -375,6 +391,13 @@ func (x *Experiment) collect() RunResult {
 	ca := pl.FS.TotalClientAvail()
 	av.RPCTimeouts, av.Retries, av.Failures = ca.Timeouts, ca.Retries, ca.Failures
 	res.Diag.Events = pl.EventsExecuted()
+	if x.obs != nil {
+		names := make([]string, len(x.Apps))
+		for i, app := range x.Apps {
+			names[i] = app.Spec.Name
+		}
+		res.Timeline = x.obs.Timeline(names)
+	}
 	return res
 }
 

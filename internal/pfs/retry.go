@@ -69,6 +69,7 @@ func (so *subOp) send() {
 	st := &srvReqState{
 		remaining: len(so.chunks), bytes: so.bytes,
 		issued: fs.jitteredIssue(), sub: so,
+		issueAt: fs.E.Now(), read: so.read,
 	}
 	so.st = st
 	for i := range so.chunks {

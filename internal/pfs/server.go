@@ -134,6 +134,10 @@ type Server struct {
 	// queue and byte counters plus the device view. Always on (the
 	// counters are cheap); QoS schedulers and tests read it.
 	Tel *qos.Telemetry
+	// Spans, when non-nil, receives one Span per completed request share,
+	// emitted at reply time on this server's shard (see SpanSink). nil —
+	// the default — keeps the completion path span-free.
+	Spans SpanSink
 
 	cpu        *sim.Line
 	freeFlows  int
@@ -302,6 +306,7 @@ func (s *Server) onReadable(c *netsim.Conn, m *netsim.Message) {
 	if !st.arrived {
 		st.arrived = true
 		st.conn = c
+		st.arriveAt = s.E.Now()
 		s.stats.Requests++
 		s.Tel.Arrive(c.App, st.bytes)
 		s.reqQueue = append(s.reqQueue, st)
@@ -397,6 +402,7 @@ func (s *Server) pump() {
 		s.reqQueue = s.reqQueue[:len(s.reqQueue)-1]
 		s.freeFlows--
 		st.active = true
+		st.grantAt = s.E.Now()
 		s.Tel.Grant(st.conn.App, st.bytes)
 		s.activeReqs = append(s.activeReqs, st)
 		s.consume(st)
@@ -540,6 +546,13 @@ func (s *Server) finishFlow(st *srvReqState) {
 	st.active = false
 	s.freeFlows++
 	s.Tel.Finish(st.conn.App)
+	if s.Spans != nil {
+		s.Spans.RecordSpan(Span{
+			Issue: st.issueAt, Arrive: st.arriveAt, Grant: st.grantAt,
+			Reply: s.E.Now(), Bytes: st.bytes,
+			App: int32(st.conn.App), Server: int32(s.ID), Read: st.read,
+		})
+	}
 	for i, a := range s.activeReqs {
 		if a == st {
 			copy(s.activeReqs[i:], s.activeReqs[i+1:])

@@ -26,6 +26,8 @@ type srvReqState struct {
 	remaining int      // chunks not yet stored (write) or returned (read)
 	bytes     int64    // total data bytes of this request's share here
 	issued    sim.Time // when the client issued the request
+	issueAt   sim.Time // client clock at issue (unjittered; Span.Issue)
+	read      bool     // read request (client-written; Span.Read)
 
 	// Server-side flow scheduling state.
 	conn     *netsim.Conn
@@ -33,6 +35,8 @@ type srvReqState struct {
 	active   bool
 	dead     bool              // killed by a server crash; chunks are discarded
 	inflight int               // chunks being processed/stored right now
+	arriveAt sim.Time          // server clock at arrival (Span.Arrive)
+	grantAt  sim.Time          // server clock at flow-slot grant (Span.Grant)
 	pending  []*netsim.Message // readable chunks not yet pulled from the socket
 
 	// Client-side retry state (only set on the retrying RPC path). sub is

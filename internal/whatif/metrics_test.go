@@ -1,0 +1,163 @@
+package whatif
+
+import (
+	"io"
+	"net/http"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+// scrapeMetrics fetches /metrics and validates the transport envelope.
+func scrapeMetrics(t *testing.T, base string) string {
+	t.Helper()
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("reading metrics: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: status %d: %s", resp.StatusCode, body)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("Content-Type = %q, want text exposition 0.0.4", ct)
+	}
+	return string(body)
+}
+
+// Exposition-format line shapes: HELP/TYPE comments and sample lines
+// (metric name, optional label set, float value).
+var (
+	promComment = regexp.MustCompile(`^# (HELP|TYPE) [a-zA-Z_:][a-zA-Z0-9_:]* .+$`)
+	promSample  = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*"(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? -?[0-9.eE+-]+$`)
+)
+
+// checkExposition line-parses a scrape: every line must be a well-formed
+// comment or sample, and every sample's family must be declared first.
+func checkExposition(t *testing.T, page string) {
+	t.Helper()
+	declared := map[string]bool{}
+	for i, line := range strings.Split(strings.TrimRight(page, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "#"):
+			if !promComment.MatchString(line) {
+				t.Fatalf("line %d: malformed comment %q", i+1, line)
+			}
+			declared[strings.Fields(line)[2]] = true
+		case promSample.MatchString(line):
+			name := line
+			if j := strings.IndexAny(line, "{ "); j >= 0 {
+				name = line[:j]
+			}
+			if !declared[name] {
+				t.Fatalf("line %d: sample %q before its HELP/TYPE", i+1, line)
+			}
+		default:
+			t.Fatalf("line %d: malformed sample %q", i+1, line)
+		}
+	}
+}
+
+// TestMetricsExposition pins the cold scrape: parseable text exposition
+// carrying every serving counter and no last-run series yet.
+func TestMetricsExposition(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	page := scrapeMetrics(t, ts.URL)
+	checkExposition(t, page)
+	for _, want := range []string{
+		"whatifd_uptime_seconds ",
+		"whatifd_sessions_total 0",
+		"whatifd_active_sessions 0",
+		"whatifd_queue_depth 0",
+		"whatifd_queue_capacity 64",
+		"whatifd_rejected_total 0",
+		"whatifd_cache_hits_total 0",
+		"whatifd_cache_misses_total 0",
+		"whatifd_cache_evictions_total 0",
+		"whatifd_cache_entries 0",
+		"whatifd_cache_used_bytes 0",
+		"whatifd_cache_budget_bytes ",
+	} {
+		if !strings.Contains(page, "\n"+want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	if strings.Contains(page, "whatif_last_run_info") {
+		t.Error("cold scrape already carries last-run metrics")
+	}
+}
+
+// TestMetricsAfterSession pins the last-run series: after one successful
+// scenario session the scrape carries the run identity, a per-app IF and
+// elapsed sample for every app, and a Pareto row per arm.
+func TestMetricsAfterSession(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, out := postJSON(t, ts.URL+"/v1/whatif", scenarioEnvelope(t, []string{"fairshare"}, true))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("session failed: status %d: %s", resp.StatusCode, out)
+	}
+	page := scrapeMetrics(t, ts.URL)
+	checkExposition(t, page)
+	for _, want := range []string{
+		`whatif_last_run_info{kind="scenario",name="unit-tiny",backend="hdd"} 1`,
+		`whatif_last_run_app_interference_factor{app="bulk"} `,
+		`whatif_last_run_app_interference_factor{app="strided"} `,
+		`whatif_last_run_app_elapsed_seconds{app="bulk"} `,
+		`whatif_last_run_app_elapsed_seconds{app="strided"} `,
+		`whatif_last_run_arm_peak_if{scheme="off"} `,
+		`whatif_last_run_arm_peak_if{scheme="fairshare"} `,
+		`whatif_last_run_arm_agg_mbps{scheme="off"} `,
+		`whatif_last_run_arm_agg_mbps{scheme="fairshare"} `,
+	} {
+		if !strings.Contains(page, "\n"+want) {
+			t.Errorf("scrape is missing %q", want)
+		}
+	}
+	if !strings.Contains(page, "whatifd_sessions_total 1") {
+		t.Error("session counter did not advance")
+	}
+}
+
+// TestPromEscape pins label-value escaping for the three special bytes.
+func TestPromEscape(t *testing.T) {
+	var p promBuf
+	p.family("m", "gauge", "h")
+	p.sample("m", [][2]string{{"l", "a\\b\"c\nd"}}, 1)
+	want := "# HELP m h\n# TYPE m gauge\nm{l=\"a\\\\b\\\"c\\nd\"} 1\n"
+	if got := p.b.String(); got != want {
+		t.Fatalf("escaped sample = %q, want %q", got, want)
+	}
+}
+
+// TestHealthzUptime pins the healthz extension: started_at parses as
+// RFC 3339 and uptime_s advances monotonically, with the pre-existing
+// fields intact (getHealth decodes them).
+func TestHealthzUptime(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	h := getHealth(t, ts.URL)
+	if h.Status != "ok" || h.QueueCap != 64 {
+		t.Fatalf("pre-existing health fields regressed: %+v", h)
+	}
+	started, err := time.Parse(time.RFC3339Nano, h.StartedAt)
+	if err != nil {
+		t.Fatalf("started_at %q: %v", h.StartedAt, err)
+	}
+	if d := time.Since(started); d < 0 || d > time.Hour {
+		t.Fatalf("started_at %v is not recent", started)
+	}
+	if h.UptimeS <= 0 {
+		t.Fatalf("uptime_s = %v, want > 0", h.UptimeS)
+	}
+	h2 := getHealth(t, ts.URL)
+	if h2.UptimeS < h.UptimeS {
+		t.Fatalf("uptime went backwards: %v then %v", h.UptimeS, h2.UptimeS)
+	}
+	if h2.StartedAt != h.StartedAt {
+		t.Fatalf("started_at drifted: %q then %q", h.StartedAt, h2.StartedAt)
+	}
+}

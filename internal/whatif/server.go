@@ -9,6 +9,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/cluster"
 	"repro/internal/scenario"
@@ -64,6 +65,9 @@ type Server struct {
 	sessions atomic.Uint64
 	rejected atomic.Uint64
 	active   atomic.Int64
+
+	started time.Time              // process-local; UptimeS is monotonic via time.Since
+	last    atomic.Pointer[Report] // most recent successful session, for /metrics
 }
 
 // job is one queued session.
@@ -99,16 +103,18 @@ func New(cfg Config) *Server {
 		cfg.MaxBody = 64 << 20
 	}
 	s := &Server{
-		cfg:   cfg,
-		cache: NewCache(cfg.CacheBytes),
-		mux:   http.NewServeMux(),
-		queue: make(chan *job, cfg.QueueLen),
-		jobs:  make(map[string]*job),
+		cfg:     cfg,
+		cache:   NewCache(cfg.CacheBytes),
+		mux:     http.NewServeMux(),
+		queue:   make(chan *job, cfg.QueueLen),
+		jobs:    make(map[string]*job),
+		started: time.Now(),
 	}
 	s.mux.HandleFunc("POST /v1/whatif", s.handleScenario)
 	s.mux.HandleFunc("POST /v1/whatif/trace", s.handleTrace)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	for i := 0; i < cfg.Workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
@@ -183,6 +189,7 @@ func (s *Server) runJob(j *job) {
 		s.finish(j, nil, false, err)
 		return
 	}
+	s.last.Store(rep) // reports are immutable once computed; /metrics reads this
 	body, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {
 		s.finish(j, nil, false, err)
@@ -444,6 +451,8 @@ func (s *Server) writeJobResult(w http.ResponseWriter, j *job) {
 }
 
 // Health is the /healthz document: liveness plus the serving counters.
+// StartedAt and UptimeS extend the original document; every pre-existing
+// field keeps its name, type and order, so old scrapers parse unchanged.
 type Health struct {
 	Status     string     `json:"status"`
 	Sessions   uint64     `json:"sessions"`
@@ -452,11 +461,17 @@ type Health struct {
 	QueueCap   int        `json:"queue_cap"`
 	Rejected   uint64     `json:"rejected"`
 	Cache      CacheStats `json:"cache"`
+	// StartedAt is the process start in RFC 3339 UTC (wall clock).
+	StartedAt string `json:"started_at"`
+	// UptimeS is seconds since StartedAt measured on the monotonic clock
+	// (time.Since), so it keeps advancing through wall-clock steps.
+	UptimeS float64 `json:"uptime_s"`
 }
 
-// handleHealth serves GET /healthz.
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, Health{
+// Health snapshots the serving counters — the /healthz document, also
+// published through expvar by cmd/whatifd.
+func (s *Server) Health() Health {
+	return Health{
 		Status:     "ok",
 		Sessions:   s.sessions.Load(),
 		Active:     s.active.Load(),
@@ -464,7 +479,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		QueueCap:   cap(s.queue),
 		Rejected:   s.rejected.Load(),
 		Cache:      s.cache.Stats(),
-	})
+		StartedAt:  s.started.UTC().Format(time.RFC3339Nano),
+		UptimeS:    time.Since(s.started).Seconds(),
+	}
+}
+
+// handleHealth serves GET /healthz.
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
 // httpError answers with a JSON error envelope.
